@@ -1,0 +1,143 @@
+// Command lbpsim simulates one workload under one configuration and prints
+// detailed statistics: IPC, MPKI, override accuracy, repair activity, cache
+// behaviour.
+//
+// Usage:
+//
+//	lbpsim [-insts N] [-workload name] [-scheme name] [-loop 64|128|256] [-tage 8|9|57]
+//
+// Scheme names: baseline, perfect, oracle, none, retire, snapshot, backward,
+// forward, forward-coalesce, multistage, multistage-split, limited2,
+// limited4, limited8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"localbp/internal/bpu"
+	"localbp/internal/bpu/loop"
+	"localbp/internal/bpu/tage"
+	"localbp/internal/core"
+	"localbp/internal/repair"
+	"localbp/internal/workloads"
+)
+
+func main() {
+	insts := flag.Int("insts", 500_000, "instructions to simulate")
+	name := flag.String("workload", "cloud-compression", "workload name (see lbptrace -list)")
+	schemeName := flag.String("scheme", "forward", "configuration to simulate")
+	loopSize := flag.Int("loop", 128, "CBPw-Loop entries (64, 128 or 256)")
+	tageKB := flag.Int("tage", 8, "TAGE baseline size class (8, 9 or 57)")
+	flag.Parse()
+
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lbpsim: unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+
+	var lcfg loop.Config
+	switch *loopSize {
+	case 64:
+		lcfg = loop.Loop64()
+	case 128:
+		lcfg = loop.Loop128()
+	case 256:
+		lcfg = loop.Loop256()
+	default:
+		fmt.Fprintln(os.Stderr, "lbpsim: -loop must be 64, 128 or 256")
+		os.Exit(2)
+	}
+
+	var tcfg tage.Config
+	switch *tageKB {
+	case 8:
+		tcfg = tage.KB8()
+	case 9:
+		tcfg = tage.KB9()
+	case 57:
+		tcfg = tage.KB57()
+	default:
+		fmt.Fprintln(os.Stderr, "lbpsim: -tage must be 8, 9 or 57")
+		os.Exit(2)
+	}
+
+	var scheme repair.Scheme
+	oracle := false
+	p42 := repair.Ports{CkptRead: 4, BHTWrite: 2}
+	p44 := repair.Ports{CkptRead: 4, BHTWrite: 4}
+	switch *schemeName {
+	case "baseline":
+	case "perfect":
+		scheme = repair.NewPerfect(lcfg)
+	case "oracle":
+		scheme = repair.NewPerfect(lcfg)
+		oracle = true
+	case "none":
+		scheme = repair.NewNone(lcfg)
+	case "retire":
+		scheme = repair.NewRetireUpdate(lcfg)
+	case "snapshot":
+		scheme = repair.NewSnapshot(lcfg, 32, repair.Ports{CkptRead: 8, BHTWrite: 8})
+	case "backward":
+		scheme = repair.NewBackwardWalk(lcfg, 32, p44)
+	case "forward":
+		scheme = repair.NewForwardWalk(lcfg, 32, p42, false)
+	case "forward-coalesce":
+		scheme = repair.NewForwardWalk(lcfg, 32, p42, true)
+	case "multistage":
+		scheme = repair.NewMultiStage(lcfg, 32, true)
+	case "multistage-split":
+		scheme = repair.NewMultiStage(lcfg, 32, false)
+	case "limited2":
+		scheme = repair.NewLimitedPC(lcfg, 2, 2, false)
+	case "limited4":
+		scheme = repair.NewLimitedPC(lcfg, 4, 4, false)
+	case "limited8":
+		scheme = repair.NewLimitedPC(lcfg, 8, 4, false)
+	default:
+		fmt.Fprintf(os.Stderr, "lbpsim: unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("workload: %s (%s), %d instructions\n", w.Name, w.Category, *insts)
+	tr := w.Generate(*insts)
+	unit := bpu.NewUnit(tcfg, scheme)
+	unit.Oracle = oracle
+	c := core.New(core.DefaultConfig(), unit, tr)
+	st := c.Run()
+
+	fmt.Printf("\ncore:\n")
+	fmt.Printf("  cycles        %12d\n", st.Cycles)
+	fmt.Printf("  IPC           %12.3f\n", st.IPC())
+	fmt.Printf("  MPKI          %12.3f  (TAGE-only view: %.3f)\n", st.MPKI(), st.TageMPKI())
+	fmt.Printf("  branches      %12d  (%d mispredicted, %d flushes)\n", st.Branches, st.Mispredicts, st.Flushes)
+	fmt.Printf("  wrong-path    %12d instructions synthesized\n", st.WrongPathInsts)
+
+	ov, ovc := unit.OverrideStats()
+	if scheme != nil {
+		fmt.Printf("\nlocal predictor (%s):\n", scheme.Name())
+		fmt.Printf("  overrides     %12d  (%d correct on the retired path)\n", ov, ovc)
+		rst := scheme.Stats()
+		fmt.Printf("  repairs       %12d  (%d unrepaired, %d restarts)\n", rst.Repairs, rst.Unrepaired, rst.Restarts)
+		fmt.Printf("  repair writes %12d  (%d checkpoint reads)\n", rst.RepairWrites, rst.RepairReads)
+		fmt.Printf("  BHT busy      %12d cycles, %d checkpoint misses\n", rst.BusyCycles, rst.CkptMisses)
+		if rst.EarlyResteers > 0 {
+			fmt.Printf("  early resteers%12d\n", rst.EarlyResteers)
+		}
+		fmt.Printf("  storage       %12.2f KB (local predictor + repair)\n", float64(scheme.StorageBits())/8192)
+	}
+
+	acc, l1m, l2m, llcm := c.Mem().Stats()
+	fmt.Printf("\nmemory:\n  accesses %d, L1 miss %.1f%%, L2 miss %.1f%%, LLC miss %.1f%%\n",
+		acc, pct(l1m, acc), pct(l2m, l1m), pct(llcm, l2m))
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

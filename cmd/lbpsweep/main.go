@@ -1,0 +1,63 @@
+// Command lbpsweep regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	lbpsweep [-insts N] [-quick] [-list] [experiment ids...]
+//
+// Without arguments it runs every experiment (table1 … fig14b) in paper
+// order; results for configurations shared between experiments are computed
+// once. With -quick the reduced, category-balanced workload subset is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"localbp/internal/harness"
+)
+
+func main() {
+	insts := flag.Int("insts", 300_000, "instructions simulated per workload")
+	warmup := flag.Int("warmup", 0, "leading retired instructions excluded from statistics")
+	quick := flag.Bool("quick", false, "use the reduced workload subset")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	verbose := flag.Bool("v", false, "print per-configuration progress")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range harness.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	r := harness.NewRunner(harness.Options{Insts: *insts, Quick: *quick, Warmup: *warmup})
+	if *verbose {
+		r.Log = os.Stderr
+	}
+	suite := "full suite (202 workloads)"
+	if *quick {
+		suite = "quick suite (50 workloads)"
+	}
+	fmt.Printf("lbpsweep: %s, %d instructions per workload\n\n", suite, *insts)
+
+	for _, id := range ids {
+		e, ok := harness.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lbpsweep: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		out := e.Run(r)
+		fmt.Printf("== %s — %s (%.1fs)\n%s\n", e.ID, e.Title, time.Since(t0).Seconds(), out)
+	}
+}

@@ -1,0 +1,86 @@
+// Command lbptrace generates, saves, inspects and characterizes the
+// synthetic workload traces of the evaluation suite.
+//
+// Usage:
+//
+//	lbptrace -list                          # list the 202-workload suite
+//	lbptrace -workload NAME [-insts N]      # summarize a workload
+//	lbptrace -workload NAME -sites          # print its branch-site inventory
+//	lbptrace -workload NAME -o trace.lbp    # save the binary trace
+//	lbptrace -i trace.lbp                   # summarize a saved trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"localbp/internal/trace"
+	"localbp/internal/workloads"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list all suite workloads")
+	name := flag.String("workload", "", "workload to generate")
+	insts := flag.Int("insts", 300_000, "instructions to generate")
+	sites := flag.Bool("sites", false, "print the branch-site inventory")
+	out := flag.String("o", "", "write the binary trace to this file")
+	in := flag.String("i", "", "read and summarize a binary trace file")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-26s %-9s loops conds\n", "name", "category")
+		for _, w := range workloads.Suite() {
+			fmt.Printf("%-26s %-9s %5d %5d\n", w.Name, w.Category, w.Profile.LoopSites, w.Profile.CondSites)
+		}
+
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(trace.Summarize(tr))
+
+	case *name != "":
+		w, ok := workloads.ByName(*name)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *name))
+		}
+		if *sites {
+			_, inventory := workloads.BuildProgramInfo(w.Profile, w.Seed)
+			fmt.Printf("%d branch sites:\n", len(inventory))
+			for _, si := range inventory {
+				fmt.Printf("  %#08x %-14s %s\n", si.PC, si.Kind, si.Detail)
+			}
+			return
+		}
+		tr := w.Generate(*insts)
+		fmt.Printf("%s (%s): %s\n", w.Name, w.Category, trace.Summarize(tr))
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := trace.WriteTrace(f, tr); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+// Quickstart: simulate one workload on the Table 2 core with the TAGE
+// baseline and with CBPw-Loop under forward-walk repair (the paper's
+// headline configuration), and print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"localbp"
+)
+
+func main() {
+	w, ok := localbp.Workload("cloud-compression")
+	if !ok {
+		log.Fatal("workload not found")
+	}
+	const insts = 500_000
+
+	base := localbp.Simulate(w, insts, localbp.BaselineTAGE())
+	fwd := localbp.Simulate(w, insts, localbp.ForwardWalk())
+	perf := localbp.Simulate(w, insts, localbp.PerfectRepair())
+
+	fmt.Printf("workload %s (%s), %d instructions\n\n", w.Name, w.Category, insts)
+	fmt.Printf("%-14s %8s %8s %12s\n", "config", "IPC", "MPKI", "overrides")
+	for _, r := range []localbp.Result{base, fwd, perf} {
+		fmt.Printf("%-14s %8.3f %8.3f %7d (%d ok)\n", r.Scheme, r.IPC, r.MPKI, r.Overrides, r.OverridesOK)
+	}
+
+	gain := func(r localbp.Result) float64 { return 100 * (r.IPC/base.IPC - 1) }
+	fmt.Printf("\nforward walk: %+.2f%% IPC, retaining %.0f%% of the perfect-repair gain\n",
+		gain(fwd), 100*gain(fwd)/gain(perf))
+}

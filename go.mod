@@ -1,0 +1,3 @@
+module localbp
+
+go 1.22

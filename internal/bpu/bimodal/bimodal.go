@@ -1,0 +1,50 @@
+// Package bimodal implements the classic 2-bit saturating-counter branch
+// predictor of Smith [ISCA'81]. It is the tagless base component of TAGE.
+package bimodal
+
+// Predictor is a table of 2-bit saturating counters indexed by PC.
+type Predictor struct {
+	ctr  []uint8
+	mask uint64
+}
+
+// New returns a bimodal predictor with 2^log2Entries counters.
+func New(log2Entries int) *Predictor {
+	if log2Entries < 1 || log2Entries > 28 {
+		panic("bimodal: log2Entries out of range")
+	}
+	n := 1 << log2Entries
+	p := &Predictor{ctr: make([]uint8, n), mask: uint64(n - 1)}
+	for i := range p.ctr {
+		p.ctr[i] = 1 // weakly not-taken
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// Predict returns the predicted direction for pc.
+func (p *Predictor) Predict(pc uint64) bool { return p.ctr[p.index(pc)] >= 2 }
+
+// Hysteresis reports whether the counter for pc is saturated (high
+// confidence); TAGE uses this to judge provider strength.
+func (p *Predictor) Hysteresis(pc uint64) bool {
+	c := p.ctr[p.index(pc)]
+	return c == 0 || c == 3
+}
+
+// Update trains the counter for pc with the resolved direction.
+func (p *Predictor) Update(pc uint64, taken bool) {
+	i := p.index(pc)
+	c := p.ctr[i]
+	if taken {
+		if c < 3 {
+			p.ctr[i] = c + 1
+		}
+	} else if c > 0 {
+		p.ctr[i] = c - 1
+	}
+}
+
+// StorageBits returns the predictor's storage budget in bits.
+func (p *Predictor) StorageBits() int { return 2 * len(p.ctr) }

@@ -1,0 +1,86 @@
+package bimodal
+
+import "testing"
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(10)
+	pc := uint64(0x4000)
+	for i := 0; i < 4; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("did not learn always-taken")
+	}
+	if !p.Hysteresis(pc) {
+		t.Fatal("saturated counter should report hysteresis")
+	}
+}
+
+func TestLearnsAlwaysNotTaken(t *testing.T) {
+	p := New(10)
+	pc := uint64(0x4000)
+	for i := 0; i < 4; i++ {
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Fatal("did not learn always-not-taken")
+	}
+}
+
+func TestHysteresisResistsOneFlip(t *testing.T) {
+	p := New(10)
+	pc := uint64(0x8888)
+	for i := 0; i < 4; i++ {
+		p.Update(pc, true)
+	}
+	p.Update(pc, false) // one contrary outcome
+	if !p.Predict(pc) {
+		t.Fatal("a single flip should not change a saturated prediction")
+	}
+}
+
+func TestCountersSaturate(t *testing.T) {
+	p := New(8)
+	pc := uint64(0x1234)
+	for i := 0; i < 100; i++ {
+		p.Update(pc, true)
+	}
+	for i := 0; i < 100; i++ {
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Fatal("counter failed to come back down (saturation bug)")
+	}
+}
+
+func TestIndexing(t *testing.T) {
+	p := New(4) // 16 entries
+	// PCs 16 entries apart (after the >>2) must alias; adjacent must not.
+	a := uint64(0 << 2)
+	b := uint64(16 << 2)
+	c := uint64(1 << 2)
+	for i := 0; i < 4; i++ {
+		p.Update(a, true)
+	}
+	if !p.Predict(b) {
+		t.Fatal("aliasing PCs should share a counter")
+	}
+	if p.Predict(c) {
+		t.Fatal("adjacent PC should have its own (untrained) counter")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	if got := New(13).StorageBits(); got != 2*8192 {
+		t.Fatalf("StorageBits = %d, want %d", got, 2*8192)
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,71 @@
+package loop
+
+// LocalPredictor is the surface a local predictor must expose for the repair
+// schemes of internal/repair to manage its speculative state. The paper's
+// techniques are defined over exactly this contract (§1: "our techniques can
+// be directly extended to any local predictor design — the difference is
+// only in the state saved and restored"): CBPw-Loop stores an iteration
+// counter in State.Count, a generic two-level (Yeh-Patt) predictor stores a
+// direction-history bit pattern in the same field.
+type LocalPredictor interface {
+	// Predict returns the predictor's (confidence-gated) opinion for pc.
+	Predict(pc uint64) Prediction
+	// PredictWithOffset predicts with the tracked state advanced by
+	// `offset` in-flight instances (update-at-retire integration).
+	// Predictors whose state cannot be advanced without knowing the
+	// in-flight directions may ignore the offset.
+	PredictWithOffset(pc uint64, offset uint16) Prediction
+
+	// LookupState returns pc's current speculative state.
+	LookupState(pc uint64) (State, bool)
+	// SpecUpdate advances pc's state with the final predicted direction,
+	// reporting whether a new entry was allocated.
+	SpecUpdate(pc uint64, d bool) (allocated bool)
+	// RestoreState writes a checkpointed state back (repair write).
+	RestoreState(pc uint64, st State)
+	// ApplyOutcome applies a resolved branch outcome to pc's state.
+	ApplyOutcome(pc uint64, taken bool)
+	// Invalidate marks pc's state untrustworthy without releasing it.
+	Invalidate(pc uint64)
+	// InvalidateAll marks every tracked state untrustworthy.
+	InvalidateAll()
+
+	// Retire trains the non-speculative level with the architectural
+	// outcome (and allocates on final mispredictions).
+	Retire(pc uint64, taken, finalMispredicted bool)
+
+	// PatternInfo exposes the learned non-speculative pattern for pc
+	// (zero value when untracked or when the notion doesn't apply).
+	PatternInfo(pc uint64) PTInfo
+	// PatternConfident reports whether pc's pattern is override-worthy.
+	PatternConfident(pc uint64) bool
+	// PenalizeOverride lowers pc's confidence after a wrong override.
+	PenalizeOverride(pc uint64)
+
+	// Forward-walk repair bits (paper §3.1).
+	RepairStart()
+	RepairBitSet(pc uint64) bool
+
+	// Whole-table snapshots (perfect repair, snapshot queue).
+	SnapshotBHT(dst []FullState) []FullState
+	RestoreBHT(snap []FullState) int
+	DiffBHT(snap []FullState) int
+
+	// Entries returns the speculative-table capacity; the storage methods
+	// feed Table 3.
+	Entries() int
+	StorageBits() int
+	BHTStorageBits() int
+}
+
+// Compile-time check: CBPw-Loop satisfies the contract.
+var _ LocalPredictor = (*Predictor)(nil)
+
+// PatternInfo implements LocalPredictor by exposing the PT entry.
+func (p *Predictor) PatternInfo(pc uint64) PTInfo { return p.pt.Info(pc) }
+
+// PatternConfident implements LocalPredictor.
+func (p *Predictor) PatternConfident(pc uint64) bool { return p.pt.Confident(pc) }
+
+// PenalizeOverride implements LocalPredictor.
+func (p *Predictor) PenalizeOverride(pc uint64) { p.pt.Penalize(pc) }

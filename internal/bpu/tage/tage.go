@@ -1,0 +1,487 @@
+// Package tage implements the TAGE conditional branch predictor of Seznec
+// and Michaud [JILP'06], the baseline predictor of the paper (the TAGE
+// component of the CBP-2016 winner, 8KB category). It consists of a tagless
+// bimodal base and NumTables partially-tagged tables indexed with
+// geometrically increasing global-history lengths.
+//
+// The global direction history (GHIST) and path history (PHIST) are updated
+// speculatively at prediction time; every in-flight branch carries a
+// Checkpoint from which the registers are restored on a misprediction —
+// the cheap, deterministic repair that the paper contrasts with local-
+// predictor BHT repair.
+package tage
+
+import (
+	"fmt"
+	"math"
+
+	"localbp/internal/bpu/bimodal"
+)
+
+// Config sizes a TAGE predictor.
+type Config struct {
+	Name        string
+	BimodalLog2 int   // log2 of bimodal entries
+	TableLog2   int   // log2 of entries per tagged table
+	TagBits     []int // per-table tag width; len == number of tagged tables
+	MinHist     int   // shortest geometric history length
+	MaxHist     int   // longest geometric history length
+	UsePathHist bool
+}
+
+// KB8 is the paper's baseline: approximately the TAGE component of the
+// CBP-2016 winner's 8KB category (Table 2 lists it as 7.1KB).
+func KB8() Config {
+	return Config{
+		Name:        "TAGE-8KB",
+		BimodalLog2: 13,
+		TableLog2:   8,
+		TagBits:     []int{8, 8, 9, 9, 10, 10, 11, 11, 12, 12},
+		MinHist:     4,
+		MaxHist:     320,
+		UsePathHist: true,
+	}
+}
+
+// KB9 is the iso-storage comparison point of Figure 14A: the baseline TAGE
+// grown by the storage of CBPw-Loop128 plus its repair hardware (~1.9KB),
+// invested where it helps most — two extra long-history tables and a longer
+// maximum history.
+func KB9() Config {
+	c := KB8()
+	c.Name = "TAGE-9KB"
+	c.TagBits = append(c.TagBits, 12, 13)
+	c.MaxHist = 420
+	return c
+}
+
+// KB57 is the large baseline of Figure 14B: the TAGE component of the
+// CBP-2016 winner's 64KB category (about 57KB).
+func KB57() Config {
+	return Config{
+		Name:        "TAGE-57KB",
+		BimodalLog2: 14,
+		TableLog2:   11,
+		TagBits:     []int{8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14},
+		MinHist:     4,
+		MaxHist:     1000,
+		UsePathHist: true,
+	}
+}
+
+const (
+	histBufBits  = 4096 // circular global-history capacity (bits)
+	phistBits    = 16
+	ctrMax       = 7 // 3-bit signed-style counter, taken if >= 4
+	uMax         = 3 // 2-bit usefulness
+	uResetPeriod = 1 << 18
+	altCtrMax    = 15 // use_alt_on_na counter
+)
+
+// folded is an incrementally-maintained folded (compressed) history register
+// (Michaud's circular shift register trick).
+type folded struct {
+	value    uint32
+	origLen  int // history length being folded
+	compLen  int // folded width in bits
+	outPoint int
+}
+
+func newFolded(origLen, compLen int) folded {
+	return folded{origLen: origLen, compLen: compLen, outPoint: origLen % compLen}
+}
+
+// push inserts bit `in` and expels the bit that was pushed origLen steps ago.
+func (f *folded) push(in, out uint32) {
+	f.value = (f.value << 1) | in
+	f.value ^= out << uint(f.outPoint)
+	f.value ^= f.value >> uint(f.compLen)
+	f.value &= (1 << uint(f.compLen)) - 1
+}
+
+type entry struct {
+	tag uint16
+	ctr uint8 // 0..7, taken if >= 4
+	u   uint8 // 0..3
+}
+
+// Checkpoint captures all speculative TAGE state carried by an in-flight
+// branch: folded index/tag registers, the history write pointer and lengths,
+// and the path history. Restoring a checkpoint is O(tables).
+type Checkpoint struct {
+	foldIdx  []uint32
+	foldTag1 []uint32
+	foldTag2 []uint32
+	histPos  int
+	histLen  int
+	phist    uint32
+}
+
+// Meta is the per-branch prediction metadata needed to update the tables
+// when the branch resolves.
+type Meta struct {
+	indices  []uint32
+	tags     []uint16
+	provider int  // table index of the provider, -1 for bimodal
+	altTable int  // table of the alternate prediction, -1 for bimodal
+	pred     bool // final TAGE prediction
+	altPred  bool
+	weakProv bool // provider entry was "newly allocated / weak"
+	pc       uint64
+}
+
+// Pred reports the prediction recorded in the metadata.
+func (m *Meta) Pred() bool { return m.pred }
+
+// Predictor is a TAGE instance.
+type Predictor struct {
+	cfg    Config
+	base   *bimodal.Predictor
+	tables [][]entry
+	lens   []int
+
+	hist    []uint8 // circular history bits
+	histPos int     // next write position
+	histLen int     // total bits pushed (monotonic)
+	phist   uint32
+
+	foldIdx  []folded
+	foldTag1 []folded
+	foldTag2 []folded
+
+	useAltOnNA int
+	branchCnt  uint64
+	rngState   uint64
+
+	idxMask uint32
+}
+
+// New builds a predictor from cfg.
+func New(cfg Config) *Predictor {
+	nt := len(cfg.TagBits)
+	if nt < 2 {
+		panic("tage: need at least two tagged tables")
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		base:     bimodal.New(cfg.BimodalLog2),
+		tables:   make([][]entry, nt),
+		lens:     geometric(cfg.MinHist, cfg.MaxHist, nt),
+		hist:     make([]uint8, histBufBits),
+		foldIdx:  make([]folded, nt),
+		foldTag1: make([]folded, nt),
+		foldTag2: make([]folded, nt),
+		idxMask:  uint32(1)<<uint(cfg.TableLog2) - 1,
+		rngState: 0x853c49e6748fea9b,
+	}
+	for i := 0; i < nt; i++ {
+		p.tables[i] = make([]entry, 1<<cfg.TableLog2)
+		p.foldIdx[i] = newFolded(p.lens[i], cfg.TableLog2)
+		p.foldTag1[i] = newFolded(p.lens[i], cfg.TagBits[i])
+		p.foldTag2[i] = newFolded(p.lens[i], cfg.TagBits[i]-1)
+	}
+	p.useAltOnNA = altCtrMax / 2
+	return p
+}
+
+// geometric returns n history lengths from lo to hi in a geometric series.
+func geometric(lo, hi, n int) []int {
+	out := make([]int, n)
+	ratio := 1.0
+	if n > 1 {
+		ratio = math.Pow(float64(hi)/float64(lo), 1/float64(n-1))
+	}
+	v := float64(lo)
+	prev := 0
+	for i := 0; i < n; i++ {
+		l := int(v + 0.5)
+		if l <= prev {
+			l = prev + 1
+		}
+		if l > histBufBits/2 {
+			panic("tage: history length exceeds buffer")
+		}
+		out[i] = l
+		prev = l
+		v *= ratio
+	}
+	return out
+}
+
+// HistoryLengths exposes the per-table geometric history lengths.
+func (p *Predictor) HistoryLengths() []int { return append([]int(nil), p.lens...) }
+
+// Config returns the predictor's configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// StorageBits returns the total storage budget in bits.
+func (p *Predictor) StorageBits() int {
+	bits := p.base.StorageBits()
+	for i, t := range p.tables {
+		bits += len(t) * (p.cfg.TagBits[i] + 3 + 2)
+	}
+	return bits
+}
+
+// String describes the predictor.
+func (p *Predictor) String() string {
+	return fmt.Sprintf("%s (%d tagged tables, %.1fKB)", p.cfg.Name, len(p.tables),
+		float64(p.StorageBits())/8192)
+}
+
+func (p *Predictor) histBit(stepsBack int) uint32 {
+	pos := p.histPos - 1 - stepsBack
+	pos &= histBufBits - 1
+	return uint32(p.hist[pos])
+}
+
+func (p *Predictor) index(pc uint64, t int) uint32 {
+	h := p.foldIdx[t].value
+	v := uint32(pc>>2) ^ uint32(pc>>(uint(p.cfg.TableLog2)+2)) ^ h
+	if p.cfg.UsePathHist {
+		v ^= pathMix(p.phist, p.lens[t], p.cfg.TableLog2)
+	}
+	return v & p.idxMask
+}
+
+func (p *Predictor) tag(pc uint64, t int) uint16 {
+	v := uint32(pc>>2) ^ p.foldTag1[t].value ^ (p.foldTag2[t].value << 1)
+	return uint16(v & (1<<uint(p.cfg.TagBits[t]) - 1))
+}
+
+// pathMix hashes the path history, bounded by the table's history length
+// (Seznec's F function, simplified).
+func pathMix(phist uint32, hlen, log2 int) uint32 {
+	n := hlen
+	if n > phistBits {
+		n = phistBits
+	}
+	v := phist & (1<<uint(n) - 1)
+	return (v ^ (v >> uint(log2))) & (1<<uint(log2) - 1)
+}
+
+func (p *Predictor) rand() uint64 {
+	p.rngState = p.rngState*6364136223846793005 + 1442695040888963407
+	return p.rngState >> 33
+}
+
+// Predict computes the TAGE prediction for pc and fills meta for the later
+// Update call. meta must not be nil; it is reused across calls to avoid
+// allocation.
+func (p *Predictor) Predict(pc uint64, meta *Meta) bool {
+	nt := len(p.tables)
+	if cap(meta.indices) < nt {
+		meta.indices = make([]uint32, nt)
+		meta.tags = make([]uint16, nt)
+	}
+	meta.indices = meta.indices[:nt]
+	meta.tags = meta.tags[:nt]
+	meta.pc = pc
+	meta.provider, meta.altTable = -1, -1
+
+	basePred := p.base.Predict(pc)
+	meta.pred, meta.altPred = basePred, basePred
+	meta.weakProv = false
+
+	for t := 0; t < nt; t++ {
+		meta.indices[t] = p.index(pc, t)
+		meta.tags[t] = p.tag(pc, t)
+	}
+	for t := nt - 1; t >= 0; t-- {
+		e := &p.tables[t][meta.indices[t]]
+		if e.tag != meta.tags[t] {
+			continue
+		}
+		if meta.provider == -1 {
+			meta.provider = t
+		} else {
+			meta.altTable = t
+			break
+		}
+	}
+	if meta.provider >= 0 {
+		e := &p.tables[meta.provider][meta.indices[meta.provider]]
+		provPred := e.ctr >= 4
+		if meta.altTable >= 0 {
+			ae := &p.tables[meta.altTable][meta.indices[meta.altTable]]
+			meta.altPred = ae.ctr >= 4
+		}
+		// A weak provider is a (likely newly allocated) entry whose
+		// counter is borderline and that has proven useless so far.
+		meta.weakProv = e.u == 0 && (e.ctr == 3 || e.ctr == 4)
+		if meta.weakProv && p.useAltOnNA >= altCtrMax/2+1 {
+			meta.pred = meta.altPred
+		} else {
+			meta.pred = provPred
+		}
+	}
+	return meta.pred
+}
+
+// SpecUpdateHistory pushes the predicted direction into GHIST/PHIST.
+// Call once per predicted branch, after Predict.
+func (p *Predictor) SpecUpdateHistory(pc uint64, taken bool) {
+	in := uint32(0)
+	if taken {
+		in = 1
+	}
+	p.hist[p.histPos] = uint8(in)
+	p.histPos = (p.histPos + 1) & (histBufBits - 1)
+	p.histLen++
+	for t := range p.tables {
+		out := p.histBit(p.lens[t])
+		p.foldIdx[t].push(in, out)
+		p.foldTag1[t].push(in, out)
+		p.foldTag2[t].push(in, out)
+	}
+	p.phist = ((p.phist << 1) | uint32(pc>>2)&1) & (1<<phistBits - 1)
+}
+
+// SaveCheckpoint captures the speculative history state into ck (reusing its
+// storage when possible). Take the checkpoint *before* SpecUpdateHistory so
+// that restoring rewinds the mispredicted branch's own push.
+func (p *Predictor) SaveCheckpoint(ck *Checkpoint) {
+	nt := len(p.tables)
+	if cap(ck.foldIdx) < nt {
+		ck.foldIdx = make([]uint32, nt)
+		ck.foldTag1 = make([]uint32, nt)
+		ck.foldTag2 = make([]uint32, nt)
+	}
+	ck.foldIdx = ck.foldIdx[:nt]
+	ck.foldTag1 = ck.foldTag1[:nt]
+	ck.foldTag2 = ck.foldTag2[:nt]
+	for t := 0; t < nt; t++ {
+		ck.foldIdx[t] = p.foldIdx[t].value
+		ck.foldTag1[t] = p.foldTag1[t].value
+		ck.foldTag2[t] = p.foldTag2[t].value
+	}
+	ck.histPos = p.histPos
+	ck.histLen = p.histLen
+	ck.phist = p.phist
+}
+
+// RestoreCheckpoint rewinds GHIST/PHIST to ck. History bits newer than the
+// checkpoint are abandoned; the underlying circular buffer still holds the
+// pre-checkpoint bits as long as fewer than histBufBits branches were in
+// flight, which the core guarantees by construction.
+func (p *Predictor) RestoreCheckpoint(ck *Checkpoint) {
+	for t := range p.tables {
+		p.foldIdx[t].value = ck.foldIdx[t]
+		p.foldTag1[t].value = ck.foldTag1[t]
+		p.foldTag2[t].value = ck.foldTag2[t]
+	}
+	p.histPos = ck.histPos
+	p.histLen = ck.histLen
+	p.phist = ck.phist
+}
+
+// Update trains the predictor with the resolved direction. mispredicted
+// refers to the *final* pipeline prediction (after any local-predictor
+// override): allocation is driven by final mispredictions, as in the paper's
+// combined design.
+func (p *Predictor) Update(meta *Meta, taken, mispredicted bool) {
+	p.branchCnt++
+	if p.branchCnt%uResetPeriod == 0 {
+		p.gracefulUReset()
+	}
+
+	// use_alt_on_na bookkeeping.
+	if meta.provider >= 0 && meta.weakProv {
+		provPred := p.tables[meta.provider][meta.indices[meta.provider]].ctr >= 4
+		if provPred != meta.altPred {
+			if meta.altPred == taken {
+				if p.useAltOnNA < altCtrMax {
+					p.useAltOnNA++
+				}
+			} else if p.useAltOnNA > 0 {
+				p.useAltOnNA--
+			}
+		}
+	}
+
+	if meta.provider >= 0 {
+		e := &p.tables[meta.provider][meta.indices[meta.provider]]
+		updateCtr(&e.ctr, taken)
+		provPred := e.ctr >= 4 // post-update; u update uses pre-resolution pred below
+		_ = provPred
+		if meta.pred != meta.altPred {
+			if meta.pred == taken {
+				if e.u < uMax {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		// Weak, useless providers that mispredict lose their entry's
+		// protection faster.
+		if meta.pred != taken && e.u > 0 && meta.weakProv {
+			e.u--
+		}
+	} else {
+		p.base.Update(meta.pc, taken)
+	}
+
+	// Allocate on a TAGE misprediction, in a table with longer history
+	// than the provider.
+	if meta.pred != taken {
+		p.allocate(meta, taken)
+	}
+}
+
+func updateCtr(c *uint8, taken bool) {
+	if taken {
+		if *c < ctrMax {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+func (p *Predictor) allocate(meta *Meta, taken bool) {
+	start := meta.provider + 1
+	nt := len(p.tables)
+	if start >= nt {
+		return
+	}
+	// Random skip to spread allocations (as in the CBP reference code).
+	if nt-start > 1 && p.rand()%2 == 1 {
+		start++
+	}
+	allocated := 0
+	for t := start; t < nt && allocated < 2; t++ {
+		e := &p.tables[t][meta.indices[t]]
+		if e.u == 0 {
+			e.tag = meta.tags[t]
+			e.u = 0
+			if taken {
+				e.ctr = 4
+			} else {
+				e.ctr = 3
+			}
+			allocated++
+			t++ // skip the adjacent table after a successful allocation
+		}
+	}
+	if allocated == 0 {
+		// Everything useful: decay usefulness so future allocations
+		// can succeed.
+		for t := start; t < nt; t++ {
+			e := &p.tables[t][meta.indices[t]]
+			if e.u > 0 {
+				e.u--
+			}
+		}
+	}
+}
+
+// gracefulUReset periodically halves usefulness (alternating bit clears in
+// real hardware; halving is the behavioural equivalent).
+func (p *Predictor) gracefulUReset() {
+	for _, tbl := range p.tables {
+		for i := range tbl {
+			tbl[i].u >>= 1
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package tage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"localbp/internal/trace"
+)
+
+// drive runs the predictor over a deterministic outcome function, returning
+// the misprediction rate over the last `measure` branches.
+func drive(t *testing.T, p *Predictor, n, measure int, outcome func(i int, hist uint64) (pc uint64, taken bool)) float64 {
+	t.Helper()
+	var meta Meta
+	var ck Checkpoint
+	hist := uint64(0)
+	wrong := 0
+	for i := 0; i < n; i++ {
+		pc, taken := outcome(i, hist)
+		pred := p.Predict(pc, &meta)
+		p.SaveCheckpoint(&ck)
+		p.SpecUpdateHistory(pc, pred)
+		misp := pred != taken
+		if misp {
+			p.RestoreCheckpoint(&ck)
+			p.SpecUpdateHistory(pc, taken)
+		}
+		p.Update(&meta, taken, misp)
+		if i >= n-measure && misp {
+			wrong++
+		}
+		hist = hist<<1 | b2u(taken)
+	}
+	return float64(wrong) / float64(measure)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	p := New(KB8())
+	rate := drive(t, p, 4000, 1000, func(i int, _ uint64) (uint64, bool) {
+		return 0x1000, true
+	})
+	if rate > 0.001 {
+		t.Fatalf("always-taken misprediction rate %.3f", rate)
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	p := New(KB8())
+	rate := drive(t, p, 8000, 2000, func(i int, _ uint64) (uint64, bool) {
+		return 0x2000, i%2 == 0
+	})
+	if rate > 0.02 {
+		t.Fatalf("TN pattern misprediction rate %.3f", rate)
+	}
+}
+
+func TestLearnsShortLoop(t *testing.T) {
+	// A loop of period 6 is well within the history reach: TAGE must
+	// predict the exits after warmup.
+	p := New(KB8())
+	rate := drive(t, p, 20000, 5000, func(i int, _ uint64) (uint64, bool) {
+		return 0x3000, i%6 != 5
+	})
+	if rate > 0.03 {
+		t.Fatalf("period-6 loop misprediction rate %.3f", rate)
+	}
+}
+
+func TestLearnsHistoryCorrelation(t *testing.T) {
+	// Branch B's outcome equals branch A's previous outcome: global
+	// history captures it, per-PC state cannot.
+	p := New(KB8())
+	rate := drive(t, p, 20000, 4000, func(i int, hist uint64) (uint64, bool) {
+		if i%2 == 0 {
+			return 0xA000, (i/2)%3 == 0
+		}
+		return 0xB000, hist&1 == 1
+	})
+	if rate > 0.05 {
+		t.Fatalf("correlated pair misprediction rate %.3f", rate)
+	}
+}
+
+func TestStrugglesOnLongDilutedLoop(t *testing.T) {
+	// A period-40 loop whose body contains a random branch: the random
+	// bits dilute the history so TAGE cannot pinpoint the exit. This is
+	// the opportunity CBPw-Loop exploits (paper §2.2).
+	p := New(KB8())
+	rng := trace.NewRNG(1)
+	iter := 0
+	exits, missedExits := 0, 0
+	var meta Meta
+	var ck Checkpoint
+	for i := 0; i < 120000; i++ {
+		var pc uint64
+		var taken bool
+		if i%2 == 0 {
+			pc, taken = 0xC000, rng.Bool(0.5) // diluting noise
+		} else {
+			iter++
+			exit := iter%40 == 0
+			pc, taken = 0xD000, !exit
+		}
+		pred := p.Predict(pc, &meta)
+		p.SaveCheckpoint(&ck)
+		p.SpecUpdateHistory(pc, pred)
+		misp := pred != taken
+		if misp {
+			p.RestoreCheckpoint(&ck)
+			p.SpecUpdateHistory(pc, taken)
+		}
+		p.Update(&meta, taken, misp)
+		if pc == 0xD000 && !taken && i > 60000 {
+			exits++
+			if misp {
+				missedExits++
+			}
+		}
+	}
+	if exits == 0 {
+		t.Fatal("no exits measured")
+	}
+	if frac := float64(missedExits) / float64(exits); frac < 0.5 {
+		t.Fatalf("TAGE predicted %d/%d diluted long-loop exits; expected it to miss most", exits-missedExits, exits)
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	f := func(seed int64, pushesBefore, pushesAfter uint8) bool {
+		p := New(KB8())
+		r := trace.NewRNG(seed)
+		for i := 0; i < int(pushesBefore); i++ {
+			p.SpecUpdateHistory(r.Uint64()&0xffff, r.Bool(0.5))
+		}
+		var ck Checkpoint
+		p.SaveCheckpoint(&ck)
+		pc := uint64(0x1234)
+		var m1 Meta
+		want := p.Predict(pc, &m1)
+		idx := append([]uint32(nil), m1.indices...)
+		for i := 0; i < int(pushesAfter); i++ {
+			p.SpecUpdateHistory(r.Uint64()&0xffff, r.Bool(0.5))
+		}
+		p.RestoreCheckpoint(&ck)
+		var m2 Meta
+		got := p.Predict(pc, &m2)
+		if got != want {
+			return false
+		}
+		for i := range idx {
+			if idx[i] != m2.indices[i] {
+				return false // table indices must be identical after restore
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricHistoryLengths(t *testing.T) {
+	p := New(KB8())
+	lens := p.HistoryLengths()
+	if lens[0] != KB8().MinHist {
+		t.Fatalf("first length %d, want %d", lens[0], KB8().MinHist)
+	}
+	for i := 1; i < len(lens); i++ {
+		if lens[i] <= lens[i-1] {
+			t.Fatalf("lengths not strictly increasing: %v", lens)
+		}
+	}
+	if last := lens[len(lens)-1]; last < KB8().MaxHist*8/10 {
+		t.Fatalf("max length %d far below configured %d", last, KB8().MaxHist)
+	}
+}
+
+func TestStorageBudgets(t *testing.T) {
+	kb := func(c Config) float64 { return float64(New(c).StorageBits()) / 8192 }
+	if v := kb(KB8()); v < 5 || v > 10 {
+		t.Fatalf("KB8 storage %.1fKB outside the 8KB class", v)
+	}
+	if v8, v9 := kb(KB8()), kb(KB9()); v9 <= v8 {
+		t.Fatalf("KB9 (%.1f) not larger than KB8 (%.1f)", v9, v8)
+	}
+	if v := kb(KB57()); v < 40 || v > 75 {
+		t.Fatalf("KB57 storage %.1fKB outside the 57KB class", v)
+	}
+}
+
+func TestAllocationOnMispredict(t *testing.T) {
+	p := New(KB8())
+	pc := uint64(0x7777)
+	var meta Meta
+	p.Predict(pc, &meta)
+	before := countAllocated(p)
+	p.Update(&meta, true, true) // mispredicted
+	if after := countAllocated(p); after <= before {
+		t.Fatal("misprediction did not allocate tagged entries")
+	}
+}
+
+func countAllocated(p *Predictor) int {
+	n := 0
+	for _, tbl := range p.tables {
+		for _, e := range tbl {
+			if e.tag != 0 || e.ctr != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestMetaPred(t *testing.T) {
+	p := New(KB8())
+	var meta Meta
+	got := p.Predict(0x100, &meta)
+	if meta.Pred() != got {
+		t.Fatal("Meta.Pred disagrees with Predict result")
+	}
+}
+
+func TestStringDescribes(t *testing.T) {
+	if New(KB8()).String() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestNewPanicsOnTooFewTables(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for single-table config")
+		}
+	}()
+	cfg := KB8()
+	cfg.TagBits = []int{8}
+	New(cfg)
+}

@@ -1,0 +1,210 @@
+package yehpatt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"localbp/internal/bpu/loop"
+)
+
+// train drives pc through outcomes with the pipeline protocol: speculative
+// update with the prediction (or the actual when no prediction), repair via
+// ApplyOutcome on mispredicts, PT training at retire.
+func train(p *Predictor, pc uint64, outcome func(i int) bool, n int) (predicted, correct int) {
+	for i := 0; i < n; i++ {
+		actual := outcome(i)
+		pred := p.Predict(pc)
+		// The fallback baseline predicts taken, so it mispredicts every
+		// not-taken outcome — which is what drives allocation.
+		d := true
+		if pred.Valid {
+			d = pred.Taken
+			predicted++
+			if pred.Taken == actual {
+				correct++
+			}
+		}
+		p.SpecUpdate(pc, d)
+		misp := d != actual
+		if misp {
+			st, ok := p.LookupState(pc)
+			if ok {
+				// Rewind the wrong shift and apply the outcome, as a
+				// repair scheme would.
+				st.Count >>= 1
+				p.RestoreState(pc, st)
+			}
+			p.ApplyOutcome(pc, actual)
+		}
+		p.Retire(pc, actual, misp)
+	}
+	return predicted, correct
+}
+
+func TestLearnsRepeatingPattern(t *testing.T) {
+	p := New(Default128())
+	pat := []bool{true, true, false, true, false, false}
+	pred, correct := train(p, 0x400000, func(i int) bool { return pat[i%len(pat)] }, 4000)
+	if pred == 0 {
+		t.Fatal("never predicted")
+	}
+	if frac := float64(correct) / float64(pred); frac < 0.95 {
+		t.Fatalf("pattern accuracy %.3f after training", frac)
+	}
+}
+
+func TestLearnsShortLoopPattern(t *testing.T) {
+	p := New(Default128())
+	// TTTTTN: period 6 fits in an 11-bit local history.
+	pred, correct := train(p, 0x400400, func(i int) bool { return i%6 != 5 }, 6000)
+	if pred == 0 {
+		t.Fatal("never predicted")
+	}
+	if frac := float64(correct) / float64(pred); frac < 0.95 {
+		t.Fatalf("loop accuracy %.3f", frac)
+	}
+}
+
+func TestCannotLearnLongLoop(t *testing.T) {
+	// Period 40 > 11 history bits: mid-loop patterns are all-taken and
+	// indistinguishable, so exits stay unpredictable — the reason loop
+	// predictors beat generic local predictors on long loops (paper §1).
+	p := New(Default128())
+	exitsPredictedExit := 0
+	train(p, 0x400800, func(i int) bool { return i%40 != 39 }, 4000)
+	for v := 0; v < 40; v++ {
+		pr := p.Predict(0x400800)
+		actual := v != 39
+		if pr.Valid && !pr.Taken && !actual {
+			exitsPredictedExit++
+		}
+		p.SpecUpdate(0x400800, actual)
+		p.Retire(0x400800, actual, false)
+	}
+	if exitsPredictedExit != 0 {
+		t.Fatal("an 11-bit pattern cannot see a period-40 exit coming")
+	}
+}
+
+func TestWarmupGatesPredictions(t *testing.T) {
+	p := New(Default128())
+	p.Retire(0x400000, true, true) // allocate
+	if pr := p.Predict(0x400000); pr.Valid {
+		t.Fatal("predicted before the history warmed up")
+	}
+}
+
+func TestSpecUpdateShiftsPattern(t *testing.T) {
+	p := New(Default128())
+	pc := uint64(0x400000)
+	train(p, pc, func(i int) bool { return i%2 == 0 }, 100)
+	st, ok := p.LookupState(pc)
+	if !ok {
+		t.Fatal("no state")
+	}
+	p.SpecUpdate(pc, true)
+	st2, _ := p.LookupState(pc)
+	want := (st.Count<<1 | 1) & 0x7ff
+	if st2.Count != want {
+		t.Fatalf("pattern %011b after shift, want %011b", st2.Count, want)
+	}
+}
+
+func TestRestoreStateRoundTrip(t *testing.T) {
+	p := New(Default128())
+	pc := uint64(0x400000)
+	train(p, pc, func(i int) bool { return i%3 != 0 }, 200)
+	st, _ := p.LookupState(pc)
+	for i := 0; i < 7; i++ {
+		p.SpecUpdate(pc, i%2 == 0)
+	}
+	p.RestoreState(pc, st)
+	if got, _ := p.LookupState(pc); got != st {
+		t.Fatalf("restore mismatch: %+v vs %+v", got, st)
+	}
+}
+
+func TestSnapshotRestoreProperty(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		p := New(Default64())
+		s := uint64(seed)
+		next := func() uint64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return s >> 33
+		}
+		for i := 0; i < int(ops); i++ {
+			pc := uint64(0x400000 + (next()%24)*0x400)
+			p.Retire(pc, next()%2 == 0, true)
+			p.SpecUpdate(pc, next()%2 == 0)
+		}
+		snap := p.SnapshotBHT(nil)
+		for i := 0; i < int(ops); i++ {
+			pc := uint64(0x400000 + (next()%24)*0x400)
+			p.SpecUpdate(pc, next()%2 == 0)
+		}
+		p.RestoreBHT(snap)
+		return p.DiffBHT(snap) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairBits(t *testing.T) {
+	p := New(Default128())
+	pc := uint64(0x400000)
+	train(p, pc, func(i int) bool { return true }, 50)
+	p.RepairStart()
+	if !p.RepairBitSet(pc) {
+		t.Fatal("bit should arm on RepairStart")
+	}
+	p.RestoreState(pc, loop.State{Count: 3, Valid: true})
+	if p.RepairBitSet(pc) {
+		t.Fatal("bit should clear on the first repair write")
+	}
+}
+
+func TestWorksWithRepairSchemes(t *testing.T) {
+	// The paper's claim: the repair machinery is predictor-agnostic.
+	// Covered end-to-end in internal/repair and the harness; here we only
+	// verify the interface contract is complete.
+	var _ loop.LocalPredictor = New(Default128())
+}
+
+func TestPenalizeWeakensCounter(t *testing.T) {
+	p := New(Default128())
+	pc := uint64(0x400000)
+	train(p, pc, func(i int) bool { return true }, 100)
+	if !p.PatternConfident(pc) {
+		t.Skip("not confident after all-taken training")
+	}
+	p.PenalizeOverride(pc)
+	if p.PatternConfident(pc) {
+		t.Fatal("penalty did not desaturate the counter")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Entries: 0, Ways: 8, HistBits: 11, CtrBits: 3},
+		{Entries: 24, Ways: 8, HistBits: 11, CtrBits: 3},
+		{Entries: 64, Ways: 8, HistBits: 1, CtrBits: 3},
+		{Entries: 64, Ways: 8, HistBits: 11, CtrBits: 9},
+	} {
+		func() {
+			defer func() { recover() }()
+			New(cfg)
+			t.Fatalf("config %+v accepted", cfg)
+		}()
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	p := New(Default128())
+	if kb := float64(p.StorageBits()) / 8192; kb < 0.5 || kb > 3 {
+		t.Fatalf("storage %.2fKB out of the sub-8KB class", kb)
+	}
+	if p.Entries() != 128 {
+		t.Fatal("Entries wrong")
+	}
+}

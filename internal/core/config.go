@@ -1,0 +1,151 @@
+// Package core implements the cycle-level out-of-order superscalar model the
+// paper evaluates on: a Skylake-like 4-wide pipeline (Table 2) with a
+// 224-entry ROB, a 64-entry allocation queue, load/store buffers, a
+// dependence scoreboard with limited functional units, the Table 2 memory
+// hierarchy, and a branch prediction unit with speculative fetch, wrong-path
+// pollution, flush/resteer and local-predictor repair.
+package core
+
+import (
+	"localbp/internal/bpu/btb"
+	"localbp/internal/mem"
+	"localbp/internal/trace"
+)
+
+// Config parameterizes the core model; DefaultConfig matches Table 2.
+type Config struct {
+	Width         int   // fetch/allocate/retire width
+	ROBSize       int   // reorder buffer entries
+	AllocQueue    int   // fetch-to-alloc queue entries (alloc queue)
+	FrontendDepth int64 // fetch → allocate latency in cycles
+	// ResteerPenalty is the additional redirect latency after a mispredicted
+	// branch resolves, before fetch restarts (on top of refilling the
+	// front end).
+	ResteerPenalty int64
+	// EarlyResteerPenalty is the front-end flush cost of an allocation-stage
+	// override (multi-stage prediction, paper §3.2).
+	EarlyResteerPenalty int64
+	LoadBuffer          int
+	StoreBuffer         int
+
+	// Functional-unit counts per class.
+	ALUs, Muls, FPs, LoadPorts, StorePorts int
+
+	// Latencies for non-memory classes.
+	LatALU, LatMul, LatFP int64
+
+	// WrongPath enables wrong-path synthesis after a mispredicted branch
+	// is fetched: synthesized instructions pollute predictor state until
+	// the branch resolves (see DESIGN.md §3, substitution 2).
+	WrongPath bool
+
+	Mem mem.HierarchyConfig
+
+	// MaxWrongPathPerFlush caps synthesized wrong-path instructions per
+	// divergence (safety bound; generous by default).
+	MaxWrongPathPerFlush int
+
+	// BTB models the branch target buffer: a predicted-taken branch that
+	// misses it cannot redirect fetch until decode, costing BTBMissPenalty
+	// cycles of fetch stall. Entries fill when branches resolve.
+	BTB            btb.Config
+	BTBMissPenalty int64
+
+	// WarmupInsts excludes the first N retired instructions from the
+	// reported statistics (predictor training and cache warmup), in the
+	// spirit of Simpoint-style measurement.
+	WarmupInsts uint64
+}
+
+// DefaultConfig returns the Table 2 core.
+func DefaultConfig() Config {
+	return Config{
+		Width:                4,
+		ROBSize:              224,
+		AllocQueue:           64,
+		FrontendDepth:        10,
+		ResteerPenalty:       2,
+		EarlyResteerPenalty:  1,
+		LoadBuffer:           72,
+		StoreBuffer:          56,
+		ALUs:                 4,
+		Muls:                 1,
+		FPs:                  2,
+		LoadPorts:            2,
+		StorePorts:           1,
+		LatALU:               1,
+		LatMul:               4,
+		LatFP:                4,
+		WrongPath:            true,
+		Mem:                  mem.DefaultHierarchy(),
+		MaxWrongPathPerFlush: 512,
+		BTB:                  btb.DefaultConfig(),
+		BTBMissPenalty:       6,
+	}
+}
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	Cycles           int64
+	Insts            uint64 // retired instructions
+	Branches         uint64 // retired conditional branches
+	Mispredicts      uint64 // final-prediction mispredictions (correct path)
+	TageMispredicts  uint64 // what TAGE alone would have mispredicted
+	Flushes          uint64
+	EarlyResteers    uint64
+	WrongPathInsts   uint64
+	FetchStallCycles int64
+	BTBMisses        uint64
+}
+
+// sub returns s - w, fieldwise (warmup subtraction).
+func (s Stats) sub(w Stats) Stats {
+	return Stats{
+		Cycles:           s.Cycles - w.Cycles,
+		Insts:            s.Insts - w.Insts,
+		Branches:         s.Branches - w.Branches,
+		Mispredicts:      s.Mispredicts - w.Mispredicts,
+		TageMispredicts:  s.TageMispredicts - w.TageMispredicts,
+		Flushes:          s.Flushes - w.Flushes,
+		EarlyResteers:    s.EarlyResteers - w.EarlyResteers,
+		WrongPathInsts:   s.WrongPathInsts - w.WrongPathInsts,
+		FetchStallCycles: s.FetchStallCycles - w.FetchStallCycles,
+		BTBMisses:        s.BTBMisses - w.BTBMisses,
+	}
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// MPKI returns final mispredictions per kilo-instruction.
+func (s Stats) MPKI() float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Mispredicts) / float64(s.Insts)
+}
+
+// TageMPKI returns the baseline TAGE mispredictions per kilo-instruction
+// observed on the same retired path.
+func (s Stats) TageMPKI() float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return 1000 * float64(s.TageMispredicts) / float64(s.Insts)
+}
+
+func latencyOf(cfg *Config, class trace.Class) int64 {
+	switch class {
+	case trace.ClassMul:
+		return cfg.LatMul
+	case trace.ClassFP:
+		return cfg.LatFP
+	default:
+		return cfg.LatALU
+	}
+}

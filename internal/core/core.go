@@ -1,0 +1,530 @@
+package core
+
+import (
+	"container/heap"
+
+	"localbp/internal/bpu"
+	"localbp/internal/bpu/btb"
+	"localbp/internal/mem"
+	"localbp/internal/trace"
+)
+
+// robEntry is one reorder-buffer slot.
+type robEntry struct {
+	seq       uint64
+	done      int64 // completion cycle; wrong-path entries never complete
+	class     trace.Class
+	isBranch  bool
+	wrongPath bool
+	resolved  bool
+	rec       *bpu.BranchRec
+	streamPos int // index in the trace (real-path instructions only)
+}
+
+// fetchSlot is one allocation-queue entry (fetched, not yet allocated).
+type fetchSlot struct {
+	inst      trace.Inst
+	ready     int64 // cycle at which it may allocate (fetch + frontend depth)
+	wrongPath bool
+	rec       *bpu.BranchRec
+	streamPos int
+}
+
+// resolution is a pending branch-execution event.
+type resolution struct {
+	done int64
+	seq  uint64
+	rob  int64 // absolute ROB index
+	rec  *bpu.BranchRec
+}
+
+type resolutionHeap []resolution
+
+func (h resolutionHeap) Len() int { return len(h) }
+func (h resolutionHeap) Less(i, j int) bool {
+	if h[i].done != h[j].done {
+		return h[i].done < h[j].done
+	}
+	return h[i].seq < h[j].seq
+}
+func (h resolutionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *resolutionHeap) Push(x any)   { *h = append(*h, x.(resolution)) }
+func (h *resolutionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// resource models a bank of units (FUs, load/store buffer slots) as a ring
+// of next-free cycles; allocation round-robins and returns the earliest
+// start cycle at or after `at`.
+type resource struct {
+	free []int64
+	pos  int
+}
+
+func newResource(n int) *resource { return &resource{free: make([]int64, n)} }
+
+// take reserves a unit from cycle `at` for `dur` cycles and returns the
+// actual start (>= at, delayed if all units busy).
+func (r *resource) take(at, dur int64) int64 {
+	best, bestIdx := r.free[0], 0
+	for i, f := range r.free {
+		if f < best {
+			best, bestIdx = f, i
+		}
+	}
+	start := at
+	if best > start {
+		start = best
+	}
+	r.free[bestIdx] = start + dur
+	return start
+}
+
+// Core is one simulated out-of-order core.
+type Core struct {
+	cfg  Config
+	unit *bpu.Unit
+	mem  *mem.Hierarchy
+	btb  *btb.BTB
+
+	prog []trace.Inst
+	pos  int // next real-path instruction to fetch
+
+	// ROB as a ring with absolute head/tail indices.
+	rob     []robEntry
+	robHead int64
+	robTail int64
+
+	fetchQ  []fetchSlot
+	fqHead  int
+	fqTail  int
+	fqCount int
+
+	resolutions resolutionHeap
+
+	regReady [trace.NumRegs]int64
+
+	alus, muls, fps, ldPorts, stPorts *resource
+	ldBuf, stBuf                      *resource
+
+	cycle int64
+	seq   uint64
+	seqBr uint64
+
+	// Divergence state: set while an unresolved branch's prediction
+	// disagrees with the trace; fetch synthesizes wrong-path instructions
+	// until the branch resolves (or an alloc-stage override cancels it).
+	diverged    bool
+	fetchHoldTo int64 // fetch stalled until this cycle (resteer penalty)
+	wrongLeft   int   // wrong-path budget for this divergence
+
+	// Wrong-path synthesizer: ring of recent real instructions.
+	recent    []trace.Inst
+	recentPos int
+	wpCursor  int
+
+	stats     Stats
+	warmStats Stats
+	warmDone  bool
+
+	dbgFQEmpty, dbgROBFull, dbgNotReady int64
+	dbgDoneSum                          int64
+	dbgDoneN                            int64
+}
+
+// DebugAllocStalls returns (fqEmpty, robFull, notReady, avgExecLatency)
+// diagnostics for model analysis.
+func (c *Core) DebugAllocStalls() (int64, int64, int64, float64) {
+	avg := 0.0
+	if c.dbgDoneN > 0 {
+		avg = float64(c.dbgDoneSum) / float64(c.dbgDoneN)
+	}
+	return c.dbgFQEmpty, c.dbgROBFull, c.dbgNotReady, avg
+}
+
+// New builds a core over the given program with the given prediction unit.
+func New(cfg Config, unit *bpu.Unit, prog []trace.Inst) *Core {
+	c := &Core{
+		cfg:     cfg,
+		unit:    unit,
+		mem:     mem.New(cfg.Mem),
+		prog:    prog,
+		rob:     make([]robEntry, cfg.ROBSize),
+		fetchQ:  make([]fetchSlot, cfg.AllocQueue),
+		alus:    newResource(cfg.ALUs),
+		muls:    newResource(cfg.Muls),
+		fps:     newResource(cfg.FPs),
+		ldPorts: newResource(cfg.LoadPorts),
+		stPorts: newResource(cfg.StorePorts),
+		ldBuf:   newResource(cfg.LoadBuffer),
+		stBuf:   newResource(cfg.StoreBuffer),
+		recent:  make([]trace.Inst, 0, 256),
+	}
+	if cfg.BTB.Entries > 0 {
+		c.btb = btb.New(cfg.BTB)
+	}
+	return c
+}
+
+// Stats returns the accumulated statistics.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Mem exposes the memory hierarchy (examples and tests).
+func (c *Core) Mem() *mem.Hierarchy { return c.mem }
+
+func (c *Core) robAt(abs int64) *robEntry { return &c.rob[abs%int64(len(c.rob))] }
+func (c *Core) robLen() int               { return int(c.robTail - c.robHead) }
+
+func (c *Core) fqPush(s fetchSlot) {
+	c.fetchQ[c.fqTail] = s
+	c.fqTail = (c.fqTail + 1) % len(c.fetchQ)
+	c.fqCount++
+}
+
+func (c *Core) fqPeek() *fetchSlot { return &c.fetchQ[c.fqHead] }
+
+func (c *Core) fqPop() fetchSlot {
+	s := c.fetchQ[c.fqHead]
+	c.fqHead = (c.fqHead + 1) % len(c.fetchQ)
+	c.fqCount--
+	return s
+}
+
+// fqFlush squashes every queued instruction (front-end flush).
+func (c *Core) fqFlush() {
+	for c.fqCount > 0 {
+		s := c.fqPop()
+		if s.rec != nil {
+			c.unit.Squash(s.rec)
+		}
+	}
+}
+
+// Run simulates until the program is exhausted and the pipeline drains,
+// returning the statistics.
+func (c *Core) Run() Stats {
+	for c.pos < len(c.prog) || c.robLen() > 0 || c.fqCount > 0 {
+		c.stepResolutions()
+		c.stepRetire()
+		c.stepAlloc()
+		c.stepFetch()
+		c.cycle++
+		if !c.warmDone && c.cfg.WarmupInsts > 0 && c.stats.Insts >= c.cfg.WarmupInsts {
+			c.warmDone = true
+			c.warmStats = c.stats
+			c.warmStats.Cycles = c.cycle
+		}
+	}
+	c.stats.Cycles = c.cycle
+	if c.warmDone {
+		return c.stats.sub(c.warmStats)
+	}
+	return c.stats
+}
+
+// stepResolutions processes branch executions due this cycle, oldest first.
+func (c *Core) stepResolutions() {
+	for len(c.resolutions) > 0 && c.resolutions[0].done <= c.cycle {
+		r := heap.Pop(&c.resolutions).(resolution)
+		rec := r.rec
+		rec.InFlight = false
+		if rec.Squashed {
+			c.unit.PutRec(rec)
+			continue
+		}
+		e := c.robAt(r.rob)
+		misp := c.unit.Resolve(rec, c.cycle)
+		e.resolved = true
+		if c.btb != nil && rec.Ctx.ActualTaken {
+			c.btb.Insert(rec.Ctx.PC, 0)
+		}
+		if rec.TagePred != rec.Ctx.ActualTaken {
+			c.stats.TageMispredicts++
+		}
+		if misp {
+			c.stats.Mispredicts++
+			c.handleMispredict(r.rob, e)
+		}
+	}
+}
+
+// handleMispredict flushes younger instructions and re-steers fetch. Only
+// the oldest divergence can reach here (fetch stops producing real-path
+// instructions past the first mispredicted branch), so the divergence — if
+// still active — always belongs to this branch.
+func (c *Core) handleMispredict(robIdx int64, e *robEntry) {
+	c.stats.Flushes++
+	c.flushROBAfter(robIdx)
+	c.fqFlush()
+	c.diverged = false
+	c.pos = e.streamPos + 1
+	hold := c.cycle + c.cfg.ResteerPenalty
+	if hold > c.fetchHoldTo {
+		c.fetchHoldTo = hold
+	}
+}
+
+func (c *Core) flushROBAfter(robIdx int64) {
+	for abs := c.robTail - 1; abs > robIdx; abs-- {
+		e := c.robAt(abs)
+		if e.rec != nil {
+			c.unit.Squash(e.rec)
+			e.rec = nil
+		}
+	}
+	c.robTail = robIdx + 1
+}
+
+// stepRetire retires completed instructions in order.
+func (c *Core) stepRetire() {
+	for retired := 0; retired < c.cfg.Width && c.robLen() > 0; retired++ {
+		e := c.robAt(c.robHead)
+		if e.wrongPath {
+			// Wrong-path instructions are always flushed before
+			// reaching the head; seeing one here is a model bug.
+			panic("core: wrong-path instruction at ROB head")
+		}
+		if e.done > c.cycle || (e.isBranch && !e.resolved) {
+			return
+		}
+		if e.isBranch {
+			c.stats.Branches++
+			if e.rec != nil {
+				c.unit.Retire(e.rec)
+				e.rec = nil
+			}
+		}
+		c.stats.Insts++
+		c.robHead++
+	}
+}
+
+// stepAlloc moves instructions from the allocation queue into the ROB,
+// computing their execution timing.
+func (c *Core) stepAlloc() {
+	for n := 0; n < c.cfg.Width; n++ {
+		if c.fqCount == 0 {
+			c.dbgFQEmpty++
+			return
+		}
+		if c.robLen() >= len(c.rob) {
+			c.dbgROBFull++
+			return
+		}
+		slot := c.fqPeek()
+		if slot.ready > c.cycle {
+			c.dbgNotReady++
+			return
+		}
+		s := c.fqPop()
+		abs := c.robTail
+		e := c.robAt(abs)
+		*e = robEntry{
+			seq:       c.seq,
+			class:     s.inst.Class,
+			isBranch:  s.inst.IsBranch(),
+			wrongPath: s.wrongPath,
+			rec:       s.rec,
+			streamPos: s.streamPos,
+			done:      1 << 62,
+		}
+		c.seq++
+		c.robTail++
+
+		if s.wrongPath {
+			// Wrong-path work occupies the slot but is not executed.
+			if e.isBranch && s.rec != nil {
+				c.unit.AllocStage(s.rec, c.cycle) // BHT-Defer pollution
+			}
+			continue
+		}
+
+		done := c.execTiming(&s.inst)
+		e.done = done
+		c.dbgDoneSum += done - c.cycle
+		c.dbgDoneN++
+		if e.isBranch {
+			if s.rec == nil {
+				panic("core: branch without prediction record")
+			}
+			if c.unit.AllocStage(s.rec, c.cycle) {
+				c.handleEarlyResteer(e, s.rec)
+			}
+			s.rec.InFlight = true
+			heap.Push(&c.resolutions, resolution{done: done, seq: e.seq, rob: abs, rec: s.rec})
+		}
+	}
+}
+
+// handleEarlyResteer applies a multi-stage allocation-stage override
+// (paper §3.2): the front end flushes and refetches down the corrected
+// direction.
+func (c *Core) handleEarlyResteer(e *robEntry, rec *bpu.BranchRec) {
+	c.stats.EarlyResteers++
+	c.fqFlush()
+	hold := c.cycle + c.cfg.EarlyResteerPenalty
+	if hold > c.fetchHoldTo {
+		c.fetchHoldTo = hold
+	}
+	if rec.Ctx.PredTaken == rec.Ctx.ActualTaken {
+		// The override fixed a misprediction: cancel the divergence and
+		// resume real-path fetch after this branch.
+		c.diverged = false
+	} else {
+		// The override broke a correct prediction: fetch goes down the
+		// wrong path until the branch resolves at execute.
+		c.diverged = true
+		c.wrongLeft = c.cfg.MaxWrongPathPerFlush
+		c.wpCursor = 0
+	}
+	c.pos = e.streamPos + 1
+}
+
+// execTiming computes the completion cycle of a real-path instruction,
+// honoring register dependences, functional-unit and buffer occupancy, and
+// memory latency.
+func (c *Core) execTiming(in *trace.Inst) int64 {
+	ready := c.cycle + 1
+	if t := c.regReady[in.Src1]; t > ready {
+		ready = t
+	}
+	if t := c.regReady[in.Src2]; t > ready {
+		ready = t
+	}
+
+	var start, lat int64
+	switch in.Class {
+	case trace.ClassLoad:
+		c.ldBuf.take(c.cycle, 1) // occupancy approximated by port pressure
+		start = c.ldPorts.take(ready, 1)
+		lat = c.mem.Access(in.Addr)
+	case trace.ClassStore:
+		c.stBuf.take(c.cycle, 1)
+		start = c.stPorts.take(ready, 1)
+		lat = 1
+		// Stores complete at retire; data path latency hidden.
+		c.mem.Access(in.Addr)
+	case trace.ClassMul:
+		start = c.muls.take(ready, 1)
+		lat = c.cfg.LatMul
+	case trace.ClassFP:
+		start = c.fps.take(ready, 1)
+		lat = c.cfg.LatFP
+	default: // ALU and branches
+		start = c.alus.take(ready, 1)
+		lat = c.cfg.LatALU
+	}
+	done := start + lat
+	if in.Dst != 0 {
+		c.regReady[in.Dst] = done
+	}
+	return done
+}
+
+// stepFetch brings up to Width instructions into the allocation queue,
+// running branch prediction and wrong-path synthesis.
+func (c *Core) stepFetch() {
+	if c.cycle < c.fetchHoldTo {
+		c.stats.FetchStallCycles++
+		return
+	}
+	for n := 0; n < c.cfg.Width && c.fqCount < len(c.fetchQ); n++ {
+		var in trace.Inst
+		var streamPos int
+		wrongPath := c.diverged
+		if wrongPath {
+			if !c.cfg.WrongPath || c.wrongLeft <= 0 {
+				return // fetch stalls until the divergence resolves
+			}
+			c.wrongLeft--
+			in = c.nextWrongPath()
+			streamPos = -1
+			c.stats.WrongPathInsts++
+		} else {
+			if c.pos >= len(c.prog) {
+				return
+			}
+			in = c.prog[c.pos]
+			streamPos = c.pos
+			c.pos++
+			c.noteRecent(in)
+		}
+
+		slot := fetchSlot{
+			inst:      in,
+			ready:     c.cycle + c.cfg.FrontendDepth,
+			wrongPath: wrongPath,
+			streamPos: streamPos,
+		}
+		if in.IsBranch() {
+			rec := c.unit.GetRec()
+			pred := c.unit.Predict(rec, in.PC, in.Taken, c.nextBranchSeq(), wrongPath, c.cycle)
+			slot.rec = rec
+			if pred && c.btb != nil {
+				// A predicted-taken branch needs the BTB to redirect
+				// fetch this cycle; a miss costs a decode-redirect
+				// bubble (Table 2's 2K-entry BTB).
+				if _, ok := c.btb.Lookup(in.PC); !ok {
+					c.stats.BTBMisses++
+					hold := c.cycle + c.cfg.BTBMissPenalty
+					if hold > c.fetchHoldTo {
+						c.fetchHoldTo = hold
+					}
+				}
+			}
+			if !wrongPath && pred != in.Taken {
+				// Divergence: subsequent fetch is wrong-path until
+				// this branch resolves (or a deferred override
+				// corrects it at the allocation stage).
+				c.diverged = true
+				c.wrongLeft = c.cfg.MaxWrongPathPerFlush
+				c.wpCursor = 0
+			}
+		}
+		c.fqPush(slot)
+	}
+}
+
+func (c *Core) nextBranchSeq() uint64 {
+	c.seqBr++
+	return c.seqBr
+}
+
+// noteRecent records a real instruction for the wrong-path synthesizer.
+func (c *Core) noteRecent(in trace.Inst) {
+	if len(c.recent) < cap(c.recent) {
+		c.recent = append(c.recent, in)
+		return
+	}
+	c.recent[c.recentPos] = in
+	c.recentPos = (c.recentPos + 1) % len(c.recent)
+}
+
+// nextWrongPath synthesizes a wrong-path instruction by replaying the recent
+// real-instruction window offset by half its length: plausible PCs (so BHT
+// and GHIST pollution is realistic) on a path the core will flush.
+func (c *Core) nextWrongPath() trace.Inst {
+	if len(c.recent) == 0 {
+		return trace.Inst{PC: 0xdead000, Class: trace.ClassALU}
+	}
+	idx := (c.recentPos + len(c.recent)/2 + c.wpCursor) % len(c.recent)
+	c.wpCursor++
+	in := c.recent[idx]
+	if in.IsBranch() {
+		// The synthesized branch's "outcome" is unknowable; its
+		// prediction will drive the speculative updates, and it is
+		// flushed before resolving. Real wrong paths execute the other
+		// side of a branch: only some of their branch PCs coincide
+		// with hot correct-path PCs, so half are displaced to cold
+		// addresses that miss the BHT.
+		if c.wpCursor%2 != 0 {
+			in.PC ^= 0x40000 + uint64(c.wpCursor)<<6
+		}
+		in.Taken = !in.Taken
+	}
+	return in
+}

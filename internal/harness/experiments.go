@@ -1,0 +1,381 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"localbp/internal/bpu/loop"
+	"localbp/internal/core"
+	"localbp/internal/metrics"
+	"localbp/internal/repair"
+	"localbp/internal/workloads"
+)
+
+// Experiment regenerates one paper artifact (figure or table) as text.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) string
+}
+
+// Experiments returns every reproducible artifact in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: evaluated benchmark categories", func(r *Runner) string { return Table1() }},
+		{"table2", "Table 2: simulator parameters", func(r *Runner) string { return Table2() }},
+		{"fig4", "Figure 4: MPKI opportunity and the cost of not repairing", Fig4},
+		{"fig7a", "Figure 7a: MPKI reduction of CBPw-Loop{64,128,256} with perfect repair", Fig7a},
+		{"fig7b", "Figure 7b: IPC gain of CBPw-Loop{64,128,256} with perfect repair", Fig7b},
+		{"fig7c", "Figure 7c: IPC S-curve for CBPw-Loop128 (perfect repair)", Fig7c},
+		{"fig8", "Figure 8: BHT repairs needed per misprediction", Fig8},
+		{"fig9", "Figure 9: update-at-retire and no-repair vs perfect repair", Fig9},
+		{"fig10", "Figure 10: backward walk and snapshot across M-N-P configurations", Fig10},
+		{"fig11", "Figure 11: forward walk across configurations (+ coalescing)", Fig11},
+		{"fig12", "Figure 12: multi-stage prediction with split BHT (shared/split PT)", Fig12},
+		{"fig13", "Figure 13: limited-PC repair scaling", Fig13},
+		{"table3", "Table 3: summary of all repair techniques", Table3},
+		{"fig14a", "Figure 14A: iso-storage TAGE(9KB) vs TAGE+CBPw-Loop+forward walk", Fig14a},
+		{"fig14b", "Figure 14B: CBPw-Loop on a 57KB TAGE baseline", Fig14b},
+		{"ext1", "Extension: repair schemes over a generic (Yeh-Patt) local predictor", Ext1},
+	}
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Table1 prints the workload inventory (Table 1).
+func Table1() string {
+	t := &metrics.Table{Header: []string{"Category", "Count", "Example workloads"}}
+	suite := workloads.Suite()
+	for _, c := range workloads.Categories() {
+		names := []string{}
+		for _, w := range suite {
+			if w.Category == c && len(names) < 4 {
+				names = append(names, w.Name)
+			}
+		}
+		t.AddRow(c.String(), fmt.Sprint(workloads.CategoryCount(c)), strings.Join(names, ", ")+", ...")
+	}
+	t.AddRow("TOTAL", fmt.Sprint(workloads.SuiteSize), "")
+	return t.String()
+}
+
+// Table2 echoes the simulated core parameters (Table 2).
+func Table2() string {
+	cfg := core.DefaultConfig()
+	t := &metrics.Table{Header: []string{"Parameter", "Value"}}
+	t.AddRow("Core", fmt.Sprintf("%d-wide OOO, %d-entry ROB, %d-entry allocation queue",
+		cfg.Width, cfg.ROBSize, cfg.AllocQueue))
+	t.AddRow("Buffers", fmt.Sprintf("%d-entry load buffer, %d-entry store buffer", cfg.LoadBuffer, cfg.StoreBuffer))
+	t.AddRow("Baseline predictor", "TAGE - 7.1 KB class (see tage.KB8)")
+	t.AddRow("CBPw-Loop256", "256 entries, 8-way BHT, PT")
+	t.AddRow("CBPw-Loop128", "128 entries, 8-way BHT, PT (default)")
+	t.AddRow("CBPw-Loop64", "64 entries, 8-way BHT, PT")
+	t.AddRow("L1", fmt.Sprintf("%dKB, %d-way, %d cycles, prefetch", cfg.Mem.L1.SizeBytes>>10, cfg.Mem.L1.Ways, cfg.Mem.L1.Latency))
+	t.AddRow("L2", fmt.Sprintf("%dKB, %d-way, %d cycles, prefetch", cfg.Mem.L2.SizeBytes>>10, cfg.Mem.L2.Ways, cfg.Mem.L2.Latency))
+	t.AddRow("LLC", fmt.Sprintf("%dMB, %d-way, %d cycles, prefetch", cfg.Mem.LLC.SizeBytes>>20, cfg.Mem.LLC.Ways, cfg.Mem.LLC.Latency))
+	t.AddRow("Main memory", fmt.Sprintf("~%d cycles", cfg.Mem.DRAMLatency))
+	t.AddRow("Front end", fmt.Sprintf("%d-cycle fetch-to-alloc, %d-cycle redirect", cfg.FrontendDepth, cfg.ResteerPenalty))
+	return t.String()
+}
+
+// Fig4 shows the per-category MPKI reduction of a never-mispredicting local
+// predictor (the opportunity) against a local predictor with no repair.
+func Fig4(r *Runner) string {
+	base := r.Results(BaselineSpec())
+	oracle := r.Results(OracleSpec(loop.Loop128()))
+	none := r.Results(NoRepairSpec(loop.Loop128()))
+	cats, opp := byCategoryMPKI(base, oracle)
+	_, lost := byCategoryMPKI(base, none)
+	t := &metrics.Table{Header: []string{"Category", "MPKI redn (ideal local)", "MPKI redn (no repair)"}}
+	for i, c := range cats {
+		t.AddRow(c, metrics.Pct(opp[i]), metrics.Pct(lost[i]))
+	}
+	t.AddRow("ALL", metrics.Pct(mpkiReduction(base, oracle)), metrics.Pct(mpkiReduction(base, none)))
+	return t.String()
+}
+
+// loopConfigs are the three Table 2 local predictor sizes.
+func loopConfigs() []loop.Config {
+	return []loop.Config{loop.Loop64(), loop.Loop128(), loop.Loop256()}
+}
+
+// Fig7a: per-category MPKI reduction with perfect repair across sizes.
+func Fig7a(r *Runner) string {
+	base := r.Results(BaselineSpec())
+	t := &metrics.Table{Header: []string{"Category", "Loop64", "Loop128", "Loop256"}}
+	rows := map[string][]string{}
+	var cats []string
+	for _, cfg := range loopConfigs() {
+		res := r.Results(PerfectSpec(cfg))
+		cs, red := byCategoryMPKI(base, res)
+		cats = cs
+		for i, c := range cs {
+			rows[c] = append(rows[c], metrics.Pct(red[i]))
+		}
+		rows["ALL"] = append(rows["ALL"], metrics.Pct(mpkiReduction(base, res)))
+	}
+	for _, c := range append(cats, "ALL") {
+		t.AddRow(append([]string{c}, rows[c]...)...)
+	}
+	return t.String()
+}
+
+// Fig7b: per-category IPC gain with perfect repair across sizes.
+func Fig7b(r *Runner) string {
+	base := r.Results(BaselineSpec())
+	t := &metrics.Table{Header: []string{"Category", "Loop64", "Loop128", "Loop256"}}
+	rows := map[string][]string{}
+	var cats []string
+	for _, cfg := range loopConfigs() {
+		res := r.Results(PerfectSpec(cfg))
+		cs, gain := byCategoryIPC(base, res)
+		cats = cs
+		for i, c := range cs {
+			rows[c] = append(rows[c], metrics.Pct(gain[i]))
+		}
+		rows["ALL"] = append(rows["ALL"], metrics.Pct(ipcGain(base, res)))
+	}
+	for _, c := range append(cats, "ALL") {
+		t.AddRow(append([]string{c}, rows[c]...)...)
+	}
+	return t.String()
+}
+
+// Fig7c: the per-workload IPC gain S-curve for Loop128 with named outliers.
+func Fig7c(r *Runner) string {
+	base := r.Results(BaselineSpec())
+	perf := r.Results(PerfectSpec(loop.Loop128()))
+	pts := metrics.SCurve(base, perf)
+	var b strings.Builder
+	fmt.Fprintf(&b, "S-curve over %d workloads (sorted IPC gain, CBPw-Loop128 perfect repair)\n", len(pts))
+	n := len(pts)
+	pick := map[int]bool{0: true, n - 1: true}
+	for _, q := range []int{n / 10, n / 4, n / 2, 3 * n / 4, 9 * n / 10} {
+		pick[q] = true
+	}
+	for i, p := range pts {
+		interesting := pick[i] || p.Workload == "eembc-dither" ||
+			p.Workload == "cloud-compression" || p.Workload == "tabletmark-email" ||
+			p.Workload == "sysmark-photoshop"
+		if interesting {
+			fmt.Fprintf(&b, "  #%3d %-24s %+7.2f%%\n", i+1, p.Workload, p.GainPct)
+		}
+	}
+	return b.String()
+}
+
+// Fig8: average and maximum BHT repairs required per misprediction,
+// from the perfect-repair oracle's restore diffs.
+func Fig8(r *Runner) string {
+	out := r.Run(PerfectSpec(loop.Loop128()))
+	type row struct {
+		name string
+		avg  float64
+		max  int
+	}
+	var rows []row
+	globalMax, sum, samples := 0, uint64(0), uint64(0)
+	for _, o := range out {
+		st := o.Repair
+		if st.NeededSamples == 0 {
+			continue
+		}
+		rows = append(rows, row{o.Result.Workload,
+			float64(st.NeededSum) / float64(st.NeededSamples), st.NeededMax})
+		sum += st.NeededSum
+		samples += st.NeededSamples
+		if st.NeededMax > globalMax {
+			globalMax = st.NeededMax
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].avg > rows[j].avg })
+	var b strings.Builder
+	fmt.Fprintf(&b, "suite: avg repairs/mispredict = %.1f, max = %d\n",
+		float64(sum)/float64(max(1, samples)), globalMax)
+	b.WriteString("top workloads by average repairs needed:\n")
+	for i, rw := range rows {
+		if i >= 12 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-26s avg=%5.1f max=%3d\n", rw.name, rw.avg, rw.max)
+	}
+	return b.String()
+}
+
+// Fig9: IPC of update-at-retire and no-repair, normalized to perfect repair.
+func Fig9(r *Runner) string {
+	base := r.Results(BaselineSpec())
+	perf := r.Results(PerfectSpec(loop.Loop128()))
+	retire := r.Results(RetireUpdateSpec(loop.Loop128()))
+	none := r.Results(NoRepairSpec(loop.Loop128()))
+	perfGain := ipcGain(base, perf)
+	cats, gr := byCategoryIPC(base, retire)
+	_, gn := byCategoryIPC(base, none)
+	_, gp := byCategoryIPC(base, perf)
+	t := &metrics.Table{Header: []string{"Category", "perfect dIPC", "retire dIPC", "no-repair dIPC"}}
+	for i, c := range cats {
+		t.AddRow(c, metrics.Pct(gp[i]), metrics.Pct(gr[i]), metrics.Pct(gn[i]))
+	}
+	t.AddRow("ALL", metrics.Pct(perfGain), metrics.Pct(ipcGain(base, retire)), metrics.Pct(ipcGain(base, none)))
+	t.AddRow("% of perfect", "100%",
+		metrics.Pct(100*ipcGain(base, retire)/perfGain),
+		metrics.Pct(100*ipcGain(base, none)/perfGain))
+	return t.String()
+}
+
+// normalizedRows renders spec rows as (MPKI redn, IPC gain, % of perfect).
+func normalizedRows(r *Runner, specs []Spec) string {
+	base := r.Results(BaselineSpec())
+	perf := r.Results(PerfectSpec(loop.Loop128()))
+	perfGain := ipcGain(base, perf)
+	t := &metrics.Table{Header: []string{"Configuration", "MPKI redn", "IPC gain", "% of perfect", ""}}
+	for _, s := range specs {
+		res := r.Results(s)
+		g := ipcGain(base, res)
+		norm := 100 * g / perfGain
+		t.AddRow(s.Label, metrics.Pct(mpkiReduction(base, res)), metrics.Pct(g),
+			metrics.Pct(norm), metrics.Bar(norm, 100, 20))
+	}
+	t.AddRow("perfect", metrics.Pct(mpkiReduction(base, perf)), metrics.Pct(perfGain),
+		"100.0%", metrics.Bar(100, 100, 20))
+	return t.String()
+}
+
+// Fig10: prior techniques across storage/port configurations.
+func Fig10(r *Runner) string {
+	c := loop.Loop128()
+	specs := []Spec{
+		BackwardWalkSpec(c, 64, repair.Ports{CkptRead: 64, BHTWrite: 64}),
+		BackwardWalkSpec(c, 32, repair.Ports{CkptRead: 8, BHTWrite: 8}),
+		BackwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 4}),
+		BackwardWalkSpec(c, 16, repair.Ports{CkptRead: 4, BHTWrite: 4}),
+		SnapshotSpec(c, 64, repair.Ports{CkptRead: 64, BHTWrite: 64}),
+		SnapshotSpec(c, 32, repair.Ports{CkptRead: 8, BHTWrite: 8}),
+		SnapshotSpec(c, 16, repair.Ports{CkptRead: 8, BHTWrite: 8}),
+	}
+	return normalizedRows(r, specs)
+}
+
+// Fig11: forward walk across configurations, plus coalescing.
+func Fig11(r *Runner) string {
+	c := loop.Loop128()
+	specs := []Spec{
+		ForwardWalkSpec(c, 64, repair.Ports{CkptRead: 8, BHTWrite: 4}, false),
+		ForwardWalkSpec(c, 64, repair.Ports{CkptRead: 4, BHTWrite: 2}, false),
+		ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 8, BHTWrite: 4}, false),
+		ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, false),
+		ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, true),
+	}
+	return normalizedRows(r, specs)
+}
+
+// Fig12: multi-stage prediction with split BHT, shared vs split PT, compared
+// with forward walk.
+func Fig12(r *Runner) string {
+	c := loop.Loop128()
+	specs := []Spec{
+		ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, false),
+		MultiStageSpec(c, 32, true),
+		MultiStageSpec(c, 32, false),
+	}
+	return normalizedRows(r, specs)
+}
+
+// Fig13: limited-PC repair scaling over the number of repaired PCs.
+func Fig13(r *Runner) string {
+	c := loop.Loop128()
+	specs := []Spec{
+		LimitedPCSpec(c, 2, 2, false),
+		LimitedPCSpec(c, 4, 4, false),
+		LimitedPCSpec(c, 8, 4, false),
+		LimitedPCSpec(c, 4, 4, true), // the "mark invalid" ablation
+	}
+	return normalizedRows(r, specs)
+}
+
+// Table3: the summary of every technique, with storage.
+func Table3(r *Runner) string {
+	c := loop.Loop128()
+	base := r.Results(BaselineSpec())
+	perf := r.Results(PerfectSpec(c))
+	perfGain := ipcGain(base, perf)
+
+	type entry struct {
+		spec    Spec
+		storage string
+	}
+	kb := func(mk SchemeMaker) string {
+		if mk == nil {
+			return "7.1 (TAGE only)"
+		}
+		s := mk()
+		return fmt.Sprintf("%.1f", 7.1+float64(s.StorageBits())/8192)
+	}
+	rows := []entry{
+		{NoRepairSpec(c), ""},
+		{SnapshotSpec(c, 32, repair.Ports{CkptRead: 8, BHTWrite: 8}), ""},
+		{RetireUpdateSpec(c), ""},
+		{BackwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 4}), ""},
+		{LimitedPCSpec(c, 2, 2, false), ""},
+		{MultiStageSpec(c, 32, true), ""},
+		{LimitedPCSpec(c, 4, 4, false), ""},
+		{ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, false), ""},
+		{ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, true), ""},
+	}
+	t := &metrics.Table{Header: []string{"Configuration", "MPKI redn", "IPC gain", "% of perfect", "Storage (KB)"}}
+	t.AddRow("baseline TAGE", "0.0%", "0.0%", "0.0%", "7.1")
+	for _, e := range rows {
+		res := r.Results(e.spec)
+		g := ipcGain(base, res)
+		t.AddRow(e.spec.Label, metrics.Pct(mpkiReduction(base, res)), metrics.Pct(g),
+			metrics.Pct(100*g/perfGain), kb(e.spec.Scheme))
+	}
+	t.AddRow("perfect repair", metrics.Pct(mpkiReduction(base, perf)), metrics.Pct(perfGain), "100.0%", "NA")
+	return t.String()
+}
+
+// Fig14a: iso-storage — TAGE grown to 9KB vs TAGE(7.1KB) + CBPw-Loop128 with
+// forward-walk repair.
+func Fig14a(r *Runner) string {
+	base := r.Results(BaselineSpec())
+	t := &metrics.Table{Header: []string{"Configuration", "IPC gain vs TAGE-8KB"}}
+	iso := r.Results(Iso9KBSpec())
+	fwd := r.Results(PaperForwardWalk(loop.Loop128()))
+	perf := r.Results(PerfectSpec(loop.Loop128()))
+	t.AddRow("TAGE scaled to 9KB", metrics.Pct(ipcGain(base, iso)))
+	t.AddRow("TAGE 7.1KB + Loop128 + forward walk", metrics.Pct(ipcGain(base, fwd)))
+	t.AddRow("TAGE 7.1KB + Loop128 + perfect repair", metrics.Pct(ipcGain(base, perf)))
+	return t.String()
+}
+
+// Fig14b: CBPw-Loop on the 57KB TAGE baseline, across repair schemes.
+func Fig14b(r *Runner) string {
+	c := loop.Loop128()
+	base57 := r.Results(Big57Spec("baseline", nil))
+	specs := []struct {
+		label string
+		mk    SchemeMaker
+	}{
+		{"perfect", func() repair.Scheme { return repair.NewPerfect(c) }},
+		{"forward-32-4-2-coalesce", func() repair.Scheme {
+			return repair.NewForwardWalk(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, true)
+		}},
+		{"multistage-shared-pt", func() repair.Scheme { return repair.NewMultiStage(c, 32, true) }},
+		{"limited-4pc", func() repair.Scheme { return repair.NewLimitedPC(c, 4, 4, false) }},
+	}
+	t := &metrics.Table{Header: []string{"Configuration", "MPKI redn", "IPC gain vs TAGE-57KB"}}
+	for _, s := range specs {
+		res := r.Results(Big57Spec(s.label, s.mk))
+		t.AddRow("tage57+"+s.label, metrics.Pct(mpkiReduction(base57, res)), metrics.Pct(ipcGain(base57, res)))
+	}
+	return t.String()
+}

@@ -1,0 +1,133 @@
+// Package harness wires workloads, predictors, repair schemes and the core
+// model into the experiments of the paper: one function per figure/table
+// (fig4 … fig14b, table1 … table3). The lbpsweep command drives it.
+package harness
+
+import (
+	"localbp/internal/bpu"
+	"localbp/internal/bpu/loop"
+	"localbp/internal/bpu/tage"
+	"localbp/internal/core"
+	"localbp/internal/metrics"
+	"localbp/internal/repair"
+	"localbp/internal/trace"
+	"localbp/internal/workloads"
+)
+
+// SchemeMaker builds a fresh repair scheme per run (schemes hold state).
+// A nil maker means the TAGE-only baseline.
+type SchemeMaker func() repair.Scheme
+
+// Spec describes one configuration to simulate.
+type Spec struct {
+	Label  string
+	Tage   tage.Config
+	Scheme SchemeMaker
+	Oracle bool
+	Core   core.Config
+}
+
+// BaselineSpec is the TAGE-only Table 2 baseline.
+func BaselineSpec() Spec {
+	return Spec{Label: "tage", Tage: tage.KB8(), Core: core.DefaultConfig()}
+}
+
+// PerfectSpec is CBPw-Loop with perfect instantaneous repair.
+func PerfectSpec(cfg loop.Config) Spec {
+	s := BaselineSpec()
+	s.Label = "perfect-" + cfg.Name
+	s.Scheme = func() repair.Scheme { return repair.NewPerfect(cfg) }
+	return s
+}
+
+// RunTrace simulates one prepared trace under spec and returns core stats.
+func RunTrace(tr []trace.Inst, spec Spec) core.Stats {
+	var scheme repair.Scheme
+	if spec.Scheme != nil {
+		scheme = spec.Scheme()
+	}
+	unit := bpu.NewUnit(spec.Tage, scheme)
+	unit.Oracle = spec.Oracle
+	c := core.New(spec.Core, unit, tr)
+	return c.Run()
+}
+
+// RunTraceFull simulates one trace and returns core stats plus the scheme's
+// repair stats (nil for the baseline).
+func RunTraceFull(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats) {
+	var scheme repair.Scheme
+	if spec.Scheme != nil {
+		scheme = spec.Scheme()
+	}
+	unit := bpu.NewUnit(spec.Tage, scheme)
+	unit.Oracle = spec.Oracle
+	c := core.New(spec.Core, unit, tr)
+	st := c.Run()
+	if scheme != nil {
+		return st, scheme.Stats()
+	}
+	return st, nil
+}
+
+// Options controls suite-level experiment execution.
+type Options struct {
+	Insts  int  // instructions per workload
+	Quick  bool // use the reduced suite
+	Warmup int  // leading retired instructions excluded from statistics
+}
+
+// DefaultOptions balances fidelity and single-CPU runtime.
+func DefaultOptions() Options { return Options{Insts: 120_000} }
+
+// suite returns the selected workload list.
+func (o Options) suite() []workloads.Workload {
+	if o.Quick {
+		return workloads.QuickSuite()
+	}
+	return workloads.Suite()
+}
+
+// RunSuite simulates every workload under spec, reusing pre-generated traces
+// when provided via cache (keyed by workload name).
+func RunSuite(o Options, spec Spec, cache *TraceCache) []metrics.Result {
+	ws := o.suite()
+	out := make([]metrics.Result, len(ws))
+	for i, w := range ws {
+		tr := cache.Get(w, o.Insts)
+		st := RunTrace(tr, spec)
+		out[i] = metrics.Result{
+			Workload: w.Name,
+			Category: w.Category.String(),
+			IPC:      st.IPC(),
+			MPKI:     st.MPKI(),
+			TageMPKI: st.TageMPKI(),
+		}
+	}
+	return out
+}
+
+// TraceCache memoizes generated workload traces across configurations so a
+// sweep generates each workload once.
+type TraceCache struct {
+	insts  int
+	traces map[string][]trace.Inst
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{traces: map[string][]trace.Inst{}}
+}
+
+// Get returns the trace for w at n instructions, generating on first use.
+func (tc *TraceCache) Get(w workloads.Workload, n int) []trace.Inst {
+	if tc.insts != n {
+		tc.traces = map[string][]trace.Inst{}
+		tc.insts = n
+	}
+	if tr, ok := tc.traces[w.Name]; ok {
+		return tr
+	}
+	tr := w.Generate(n)
+	tc.traces[w.Name] = tr
+	return tr
+}

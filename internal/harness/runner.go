@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"localbp/internal/metrics"
+	"localbp/internal/repair"
+)
+
+// Outcome is one workload × configuration result with repair statistics.
+type Outcome struct {
+	Result metrics.Result
+	Repair repair.Stats // zero value for the TAGE-only baseline
+}
+
+// Runner executes specs over the workload suite, memoizing traces and
+// results so that experiments sharing a configuration (most figures share
+// the baseline and perfect-repair runs) pay for it once per process.
+type Runner struct {
+	Opts  Options
+	Log   io.Writer // optional progress sink
+	cache *TraceCache
+	memo  map[string][]Outcome
+}
+
+// NewRunner builds a runner with the given options.
+func NewRunner(o Options) *Runner {
+	return &Runner{Opts: o, cache: NewTraceCache(), memo: map[string][]Outcome{}}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format, args...)
+	}
+}
+
+// Run executes spec over the whole suite (memoized by spec label).
+func (r *Runner) Run(spec Spec) []Outcome {
+	if out, ok := r.memo[spec.Label]; ok {
+		return out
+	}
+	r.logf("running %-28s (%d workloads × %d insts)\n", spec.Label, len(r.Opts.suite()), r.Opts.Insts)
+	if r.Opts.Warmup > 0 {
+		spec.Core.WarmupInsts = uint64(r.Opts.Warmup)
+	}
+	ws := r.Opts.suite()
+	out := make([]Outcome, len(ws))
+	for i, w := range ws {
+		tr := r.cache.Get(w, r.Opts.Insts)
+		st, rst := RunTraceFull(tr, spec)
+		out[i].Result = metrics.Result{
+			Workload: w.Name,
+			Category: w.Category.String(),
+			IPC:      st.IPC(),
+			MPKI:     st.MPKI(),
+			TageMPKI: st.TageMPKI(),
+		}
+		if rst != nil {
+			out[i].Repair = *rst
+		}
+	}
+	r.memo[spec.Label] = out
+	return out
+}
+
+// Results extracts the metrics side of Run.
+func (r *Runner) Results(spec Spec) []metrics.Result {
+	out := r.Run(spec)
+	rs := make([]metrics.Result, len(out))
+	for i := range out {
+		rs[i] = out[i].Result
+	}
+	return rs
+}
+
+// helpers shared by the experiment definitions
+
+func ipcs(rs []metrics.Result) []float64 {
+	out := make([]float64, len(rs))
+	for i := range rs {
+		out[i] = rs[i].IPC
+	}
+	return out
+}
+
+func mpkis(rs []metrics.Result) []float64 {
+	out := make([]float64, len(rs))
+	for i := range rs {
+		out[i] = rs[i].MPKI
+	}
+	return out
+}
+
+// mpkiReduction returns the suite-mean MPKI reduction of exp over base (%).
+func mpkiReduction(base, exp []metrics.Result) float64 {
+	return metrics.MeanReduction(mpkis(base), mpkis(exp))
+}
+
+// ipcGain returns the geomean IPC gain of exp over base (%).
+func ipcGain(base, exp []metrics.Result) float64 {
+	return metrics.IPCGainPct(ipcs(base), ipcs(exp))
+}
+
+// byCategoryMPKI computes per-category MPKI reductions.
+func byCategoryMPKI(base, exp []metrics.Result) ([]string, []float64) {
+	return metrics.ByCategory(base, exp,
+		func(r metrics.Result) float64 { return r.MPKI }, metrics.MeanReduction)
+}
+
+// byCategoryIPC computes per-category geomean IPC gains.
+func byCategoryIPC(base, exp []metrics.Result) ([]string, []float64) {
+	return metrics.ByCategory(base, exp,
+		func(r metrics.Result) float64 { return r.IPC },
+		func(a, b []float64) float64 { return metrics.IPCGainPct(a, b) })
+}

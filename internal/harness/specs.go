@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+
+	"localbp/internal/bpu/loop"
+	"localbp/internal/bpu/tage"
+	"localbp/internal/repair"
+)
+
+// The configurations evaluated by the paper, as named spec constructors.
+// Each call builds fresh state; specs are safe to run repeatedly.
+
+// specWith returns a Table 2 core + TAGE-8KB spec carrying the given scheme.
+func specWith(label string, mk SchemeMaker) Spec {
+	s := BaselineSpec()
+	s.Label = label
+	s.Scheme = mk
+	return s
+}
+
+// NoRepairSpec is CBPw-Loop without any BHT repair (paper §2.7).
+func NoRepairSpec(cfg loop.Config) Spec {
+	return specWith("no-repair-"+cfg.Name, func() repair.Scheme { return repair.NewNone(cfg) })
+}
+
+// RetireUpdateSpec updates the BHT only at retirement (paper §6.2).
+func RetireUpdateSpec(cfg loop.Config) Spec {
+	return specWith("retire-update-"+cfg.Name, func() repair.Scheme { return repair.NewRetireUpdate(cfg) })
+}
+
+// SnapshotSpec is the prior-art snapshot queue with an M-N-P configuration.
+func SnapshotSpec(cfg loop.Config, entries int, ports repair.Ports) Spec {
+	return specWith(fmt.Sprintf("snapshot-%d-%d-%d", entries, ports.CkptRead, ports.BHTWrite),
+		func() repair.Scheme { return repair.NewSnapshot(cfg, entries, ports) })
+}
+
+// BackwardWalkSpec is the prior-art history-file repair with an M-N-P
+// configuration.
+func BackwardWalkSpec(cfg loop.Config, entries int, ports repair.Ports) Spec {
+	return specWith(fmt.Sprintf("backward-%d-%d-%d", entries, ports.CkptRead, ports.BHTWrite),
+		func() repair.Scheme { return repair.NewBackwardWalk(cfg, entries, ports) })
+}
+
+// ForwardWalkSpec is contribution 1, with optional OBQ coalescing.
+func ForwardWalkSpec(cfg loop.Config, entries int, ports repair.Ports, coalesce bool) Spec {
+	label := fmt.Sprintf("forward-%d-%d-%d", entries, ports.CkptRead, ports.BHTWrite)
+	if coalesce {
+		label += "-coalesce"
+	}
+	return specWith(label, func() repair.Scheme {
+		return repair.NewForwardWalk(cfg, entries, ports, coalesce)
+	})
+}
+
+// MultiStageSpec is contribution 2 (split BHT), with a shared or split PT.
+func MultiStageSpec(cfg loop.Config, obqEntries int, sharedPT bool) Spec {
+	label := "multistage-split-pt"
+	if sharedPT {
+		label = "multistage-shared-pt"
+	}
+	return specWith(label, func() repair.Scheme {
+		return repair.NewMultiStage(cfg, obqEntries, sharedPT)
+	})
+}
+
+// LimitedPCSpec is contribution 3, repairing m PCs per misprediction.
+func LimitedPCSpec(cfg loop.Config, m, writePorts int, invalidate bool) Spec {
+	label := fmt.Sprintf("limited-%dpc", m)
+	if invalidate {
+		label += "-invalidate"
+	}
+	return specWith(label, func() repair.Scheme {
+		return repair.NewLimitedPC(cfg, m, writePorts, invalidate)
+	})
+}
+
+// OracleSpec is the never-mispredicting local predictor of Figure 4.
+func OracleSpec(cfg loop.Config) Spec {
+	s := PerfectSpec(cfg)
+	s.Label = "oracle-local"
+	s.Oracle = true
+	return s
+}
+
+// Iso9KBSpec is the iso-storage comparison of Figure 14A: the baseline TAGE
+// grown to 9KB, with no local predictor.
+func Iso9KBSpec() Spec {
+	s := BaselineSpec()
+	s.Label = "tage-9kb"
+	s.Tage = tage.KB9()
+	return s
+}
+
+// Big57Spec returns a spec with the 57KB TAGE baseline of Figure 14B and the
+// given scheme (nil for baseline).
+func Big57Spec(label string, mk SchemeMaker) Spec {
+	s := BaselineSpec()
+	s.Label = "tage57-" + label
+	s.Tage = tage.KB57()
+	s.Scheme = mk
+	return s
+}
+
+// PaperForwardWalk returns the headline realistic configuration:
+// FWD-32-4-2 with coalescing (79% of perfect in the paper).
+func PaperForwardWalk(cfg loop.Config) Spec {
+	return ForwardWalkSpec(cfg, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, true)
+}

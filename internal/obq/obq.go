@@ -1,0 +1,161 @@
+// Package obq implements the Outstanding Branch Queue: the history file that
+// records pre-update BHT state for every in-flight branch so that walk-based
+// repair schemes (paper §2.6, §3.1) can restore the local predictor after a
+// misprediction.
+//
+// The OBQ is a circular buffer. Entries are allocated at prediction time in
+// program order, evicted when the corresponding instruction retires, and
+// discarded from the tail when younger instructions are squashed. With
+// coalescing enabled (paper §3.1), consecutive allocations for the same PC
+// share one entry, reducing capacity pressure.
+package obq
+
+import "localbp/internal/bpu/loop"
+
+// Entry is one OBQ record: the PC and its pre-update BHT state
+// (the paper's 76-bit entry: 64-bit PC, 11-bit pattern, valid bit).
+type Entry struct {
+	PC    uint64
+	Seq   uint64 // branch sequence number of the oldest instruction using it
+	State loop.State
+	Runs  int // number of coalesced instructions sharing this entry
+}
+
+// Queue is a bounded circular OBQ.
+type Queue struct {
+	buf      []Entry
+	head     int64 // absolute id of the oldest live entry
+	tail     int64 // absolute id one past the youngest live entry
+	coalesce bool
+
+	statAlloc     uint64
+	statCoalesced uint64
+	statFull      uint64
+}
+
+// New returns an OBQ with the given capacity. When coalesce is true,
+// consecutive same-PC allocations share an entry.
+func New(capacity int, coalesce bool) *Queue {
+	if capacity <= 0 {
+		panic("obq: capacity must be positive")
+	}
+	return &Queue{buf: make([]Entry, capacity), coalesce: coalesce}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Len returns the number of live entries.
+func (q *Queue) Len() int { return int(q.tail - q.head) }
+
+// Full reports whether a fresh (non-coalescible) allocation would fail.
+func (q *Queue) Full() bool { return q.Len() >= len(q.buf) }
+
+func (q *Queue) at(id int64) *Entry { return &q.buf[id%int64(len(q.buf))] }
+
+// Alloc records the pre-update state of pc for the branch with sequence
+// number seq. It returns the absolute entry id the instruction carries, or
+// -1 if the queue is full (the branch goes unprotected, paper §3.1).
+func (q *Queue) Alloc(pc uint64, seq uint64, st loop.State) int64 {
+	if q.coalesce && q.Len() > 0 {
+		tail := q.at(q.tail - 1)
+		if tail.PC == pc {
+			tail.Runs++
+			q.statCoalesced++
+			return q.tail - 1
+		}
+	}
+	if q.Full() {
+		q.statFull++
+		return -1
+	}
+	id := q.tail
+	*q.at(id) = Entry{PC: pc, Seq: seq, State: st, Runs: 1}
+	q.tail++
+	q.statAlloc++
+	return id
+}
+
+// Get returns the entry with absolute id, or nil if it is no longer live.
+func (q *Queue) Get(id int64) *Entry {
+	if id < q.head || id >= q.tail {
+		return nil
+	}
+	return q.at(id)
+}
+
+// Walk calls fn on each live entry from absolute id `from` (inclusive)
+// toward the tail (youngest). It is the traversal order of forward-walk
+// repair; backward walk iterates the returned slice in reverse via WalkBack.
+func (q *Queue) Walk(from int64, fn func(id int64, e *Entry)) {
+	if from < q.head {
+		from = q.head
+	}
+	for id := from; id < q.tail; id++ {
+		fn(id, q.at(id))
+	}
+}
+
+// WalkBack calls fn on each live entry from the youngest down to absolute id
+// `to` (inclusive): the backward-walk traversal order.
+func (q *Queue) WalkBack(to int64, fn func(id int64, e *Entry)) {
+	if to < q.head {
+		to = q.head
+	}
+	for id := q.tail - 1; id >= to; id-- {
+		fn(id, q.at(id))
+	}
+}
+
+// SquashAfter drops all entries strictly younger than absolute id keep
+// (keep itself stays live). Used when a misprediction flushes the pipeline.
+func (q *Queue) SquashAfter(keep int64) {
+	if keep+1 < q.head {
+		q.tail = q.head
+		return
+	}
+	if keep+1 < q.tail {
+		q.tail = keep + 1
+	}
+}
+
+// SquashYoungerSeq drops all entries whose Seq is strictly greater than seq;
+// used when the mispredicting branch itself holds no OBQ entry.
+func (q *Queue) SquashYoungerSeq(seq uint64) {
+	for q.tail > q.head {
+		e := q.at(q.tail - 1)
+		if e.Seq <= seq {
+			return
+		}
+		q.tail--
+	}
+}
+
+// Release notes that one instruction using entry id has retired or been
+// squashed; when the last user releases, the entry becomes evictable from
+// the head.
+func (q *Queue) Release(id int64) {
+	e := q.Get(id)
+	if e == nil {
+		return
+	}
+	if e.Runs > 0 {
+		e.Runs--
+	}
+	// Evict any fully-released entries at the head.
+	for q.head < q.tail && q.at(q.head).Runs == 0 {
+		q.head++
+	}
+}
+
+// Stats returns allocation counters: total entry allocations, coalesced
+// (shared) allocations, and allocations rejected because the queue was full.
+func (q *Queue) Stats() (alloc, coalesced, full uint64) {
+	return q.statAlloc, q.statCoalesced, q.statFull
+}
+
+// Reset empties the queue (tests and reuse across runs).
+func (q *Queue) Reset() {
+	q.head, q.tail = 0, 0
+	q.statAlloc, q.statCoalesced, q.statFull = 0, 0, 0
+}

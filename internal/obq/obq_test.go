@@ -1,0 +1,236 @@
+package obq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"localbp/internal/bpu/loop"
+)
+
+func st(c uint16) loop.State { return loop.State{Count: c, Dir: true, Valid: true} }
+
+func TestAllocAndGet(t *testing.T) {
+	q := New(4, false)
+	id := q.Alloc(0x100, 1, st(5))
+	if id != 0 {
+		t.Fatalf("first id = %d", id)
+	}
+	e := q.Get(id)
+	if e == nil || e.PC != 0x100 || e.State.Count != 5 {
+		t.Fatalf("Get returned %+v", e)
+	}
+}
+
+func TestFullRejects(t *testing.T) {
+	q := New(2, false)
+	q.Alloc(0x100, 1, st(0))
+	q.Alloc(0x200, 2, st(0))
+	if id := q.Alloc(0x300, 3, st(0)); id != -1 {
+		t.Fatalf("full queue allocated id %d", id)
+	}
+	_, _, full := q.Stats()
+	if full != 1 {
+		t.Fatalf("full counter %d", full)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	q := New(4, true)
+	a := q.Alloc(0x100, 1, st(1))
+	b := q.Alloc(0x100, 2, st(2)) // consecutive same PC: merged
+	if a != b {
+		t.Fatalf("coalesced ids differ: %d %d", a, b)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len %d after coalescing", q.Len())
+	}
+	// The shared entry keeps the FIRST instance's pre-update state.
+	if e := q.Get(a); e.State.Count != 1 || e.Runs != 2 {
+		t.Fatalf("shared entry %+v", e)
+	}
+	// A different PC breaks the run.
+	c := q.Alloc(0x200, 3, st(0))
+	if c == a {
+		t.Fatal("different PC merged")
+	}
+	// Returning to the first PC starts a new run (non-adjacent).
+	d := q.Alloc(0x100, 4, st(9))
+	if d == a {
+		t.Fatal("non-adjacent same-PC allocations merged")
+	}
+	_, coalesced, _ := q.Stats()
+	if coalesced != 1 {
+		t.Fatalf("coalesced counter %d", coalesced)
+	}
+}
+
+func TestNoCoalescingWhenDisabled(t *testing.T) {
+	q := New(4, false)
+	a := q.Alloc(0x100, 1, st(1))
+	b := q.Alloc(0x100, 2, st(2))
+	if a == b {
+		t.Fatal("coalescing disabled but entries merged")
+	}
+}
+
+func TestWalkForwardOrder(t *testing.T) {
+	q := New(8, false)
+	ids := []int64{}
+	for i := 0; i < 5; i++ {
+		ids = append(ids, q.Alloc(uint64(0x100+i), uint64(i), st(uint16(i))))
+	}
+	var seen []uint64
+	q.Walk(ids[1], func(id int64, e *Entry) { seen = append(seen, e.PC) })
+	want := []uint64{0x101, 0x102, 0x103, 0x104}
+	if len(seen) != len(want) {
+		t.Fatalf("walked %d entries, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestWalkBackOrder(t *testing.T) {
+	q := New(8, false)
+	for i := 0; i < 5; i++ {
+		q.Alloc(uint64(0x100+i), uint64(i), st(0))
+	}
+	var seen []uint64
+	q.WalkBack(1, func(id int64, e *Entry) { seen = append(seen, e.PC) })
+	want := []uint64{0x104, 0x103, 0x102, 0x101}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("backward order %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestSquashAfter(t *testing.T) {
+	q := New(8, false)
+	var ids []int64
+	for i := 0; i < 6; i++ {
+		ids = append(ids, q.Alloc(uint64(0x100+i), uint64(i), st(0)))
+	}
+	q.SquashAfter(ids[2])
+	if q.Len() != 3 {
+		t.Fatalf("len %d after squash, want 3", q.Len())
+	}
+	if q.Get(ids[3]) != nil {
+		t.Fatal("squashed entry still live")
+	}
+	if q.Get(ids[2]) == nil {
+		t.Fatal("kept entry gone")
+	}
+}
+
+func TestSquashYoungerSeq(t *testing.T) {
+	q := New(8, false)
+	for i := 0; i < 6; i++ {
+		q.Alloc(uint64(0x100+i), uint64(10+i), st(0))
+	}
+	q.SquashYoungerSeq(12)
+	if q.Len() != 3 {
+		t.Fatalf("len %d, want 3 (seqs 10..12)", q.Len())
+	}
+}
+
+func TestReleaseEvictsFromHead(t *testing.T) {
+	q := New(4, false)
+	a := q.Alloc(0x100, 1, st(0))
+	b := q.Alloc(0x200, 2, st(0))
+	q.Release(b) // out of order: b fully released but a still live
+	if q.Len() != 2 {
+		t.Fatalf("len %d; head must not pass a live entry", q.Len())
+	}
+	q.Release(a)
+	if q.Len() != 0 {
+		t.Fatalf("len %d after releasing all", q.Len())
+	}
+	// Space must be reusable.
+	for i := 0; i < 4; i++ {
+		if id := q.Alloc(uint64(0x300+i), uint64(10+i), st(0)); id < 0 {
+			t.Fatal("allocation failed after eviction")
+		}
+	}
+}
+
+func TestCoalescedRelease(t *testing.T) {
+	q := New(4, true)
+	id := q.Alloc(0x100, 1, st(1))
+	q.Alloc(0x100, 2, st(2)) // merged: Runs = 2
+	q.Release(id)
+	if q.Len() != 1 {
+		t.Fatal("entry evicted while a user remains")
+	}
+	q.Release(id)
+	if q.Len() != 0 {
+		t.Fatal("entry not evicted after the last user released")
+	}
+}
+
+func TestReset(t *testing.T) {
+	q := New(4, false)
+	q.Alloc(0x100, 1, st(0))
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatal("reset did not empty the queue")
+	}
+	alloc, _, _ := q.Stats()
+	if alloc != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+// TestInvariantsProperty drives random operation sequences and checks
+// structural invariants.
+func TestInvariantsProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		PC   uint8
+	}
+	f := func(capacity8 uint8, ops []op, coalesce bool) bool {
+		capacity := int(capacity8%16) + 1
+		q := New(capacity, coalesce)
+		var live []int64
+		seq := uint64(0)
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				seq++
+				id := q.Alloc(uint64(o.PC), seq, st(0))
+				if id >= 0 {
+					live = append(live, id)
+				}
+			case 1:
+				if len(live) > 0 {
+					q.Release(live[0])
+					live = live[1:]
+				}
+			case 2:
+				if len(live) > 1 {
+					keep := live[len(live)/2]
+					q.SquashAfter(keep)
+					live = live[:len(live)/2+1]
+				}
+			}
+			if q.Len() < 0 || q.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, false)
+}

@@ -1,0 +1,176 @@
+package repair
+
+import (
+	"fmt"
+
+	"localbp/internal/bpu/loop"
+)
+
+// LimitedPC is contribution 3 (paper §3.3): no OBQ at all. Each fetched
+// branch carries the pre-update BHT state of M PCs — itself plus M-1 chosen
+// by a utility+recency heuristic — and a misprediction restores exactly
+// those M states in deterministic time.
+//
+// Heuristic (paper §3.3): prefer PCs whose recent loop overrides of TAGE
+// were correct (utility, LRU-replaced), then PCs with the most recent BHT
+// updates (recency); the mispredicting instruction always repairs itself.
+//
+// Non-repaired PCs are left as-is by default (the better-performing policy
+// per the paper); Invalidate selects the alternative for ablation.
+type LimitedPC struct {
+	schemeBase
+	m          int
+	writePorts int
+	invalidate bool
+
+	// goodOverrides: LRU list of PCs with recent correct overrides.
+	goodOverrides []uint64
+	// recentUpdates: ring of PCs with recent BHT updates.
+	recentUpdates []uint64
+	ruPos         int
+}
+
+// NewLimitedPC builds the scheme repairing m PCs per misprediction through
+// writePorts BHT write ports. invalidate selects the "mark non-repaired PCs
+// invalid" variant.
+func NewLimitedPC(cfg loop.Config, m, writePorts int, invalidate bool) *LimitedPC {
+	return NewLimitedPCFor(loop.New(cfg), m, writePorts, invalidate)
+}
+
+// NewLimitedPCFor builds the scheme around any local predictor.
+func NewLimitedPCFor(lp loop.LocalPredictor, m, writePorts int, invalidate bool) *LimitedPC {
+	if m < 1 {
+		panic("repair: limited-PC m must be >= 1")
+	}
+	s := &LimitedPC{
+		m:             m,
+		writePorts:    writePorts,
+		invalidate:    invalidate,
+		goodOverrides: make([]uint64, 0, 8),
+		recentUpdates: make([]uint64, 0, 32),
+	}
+	s.lp = lp
+	return s
+}
+
+// Name implements Scheme.
+func (s *LimitedPC) Name() string {
+	n := fmt.Sprintf("limited-%dpc", s.m)
+	if s.invalidate {
+		n += "+invalidate"
+	}
+	return n
+}
+
+// OnFetchBranch implements Scheme: attach the pre-update states of the M-1
+// heuristic PCs (plus self via ctx.PreState) to the instruction.
+func (s *LimitedPC) OnFetchBranch(ctx *BranchCtx, cycle int64) {
+	if !s.specUpdate(ctx, cycle) {
+		return
+	}
+	if ctx.HadState && s.lp.PatternConfident(ctx.PC) {
+		// Only override-capable PCs are worth a repair slot.
+		s.noteUpdate(ctx.PC)
+	}
+	ctx.Limited = ctx.Limited[:0]
+	appendPC := func(pc uint64) bool {
+		if pc == ctx.PC || len(ctx.Limited) >= s.m-1 {
+			return len(ctx.Limited) < s.m-1
+		}
+		for _, ps := range ctx.Limited {
+			if ps.PC == pc {
+				return true
+			}
+		}
+		if st, ok := s.lp.LookupState(pc); ok {
+			ctx.Limited = append(ctx.Limited, PCState{PC: pc, St: st})
+		}
+		return len(ctx.Limited) < s.m-1
+	}
+	// Utility first: most recently confirmed-good overriders.
+	for i := len(s.goodOverrides) - 1; i >= 0; i-- {
+		if !appendPC(s.goodOverrides[i]) {
+			break
+		}
+	}
+	// Then recency of BHT updates.
+	if len(ctx.Limited) < s.m-1 {
+		n := len(s.recentUpdates)
+		for i := 0; i < n; i++ {
+			idx := (s.ruPos - 1 - i + 2*n) % n
+			if !appendPC(s.recentUpdates[idx]) {
+				break
+			}
+		}
+	}
+}
+
+func (s *LimitedPC) noteUpdate(pc uint64) {
+	if cap(s.recentUpdates) == 0 {
+		return
+	}
+	if len(s.recentUpdates) < cap(s.recentUpdates) {
+		s.recentUpdates = append(s.recentUpdates, pc)
+		s.ruPos = len(s.recentUpdates)
+		return
+	}
+	s.ruPos = s.ruPos % len(s.recentUpdates)
+	s.recentUpdates[s.ruPos] = pc
+	s.ruPos++
+}
+
+// OnCorrectResolve implements Scheme: track correct overrides (utility).
+func (s *LimitedPC) OnCorrectResolve(ctx *BranchCtx, cycle int64) {
+	if !ctx.UsedLoop || ctx.WrongPath {
+		return
+	}
+	// Move-to-front LRU of bounded size.
+	for i, pc := range s.goodOverrides {
+		if pc == ctx.PC {
+			copy(s.goodOverrides[i:], s.goodOverrides[i+1:])
+			s.goodOverrides[len(s.goodOverrides)-1] = ctx.PC
+			return
+		}
+	}
+	if len(s.goodOverrides) == cap(s.goodOverrides) {
+		copy(s.goodOverrides, s.goodOverrides[1:])
+		s.goodOverrides = s.goodOverrides[:len(s.goodOverrides)-1]
+	}
+	s.goodOverrides = append(s.goodOverrides, ctx.PC)
+}
+
+// OnMispredict implements Scheme: restore the carried M states in
+// deterministic ceil(M / writePorts) cycles.
+func (s *LimitedPC) OnMispredict(ctx *BranchCtx, cycle int64) {
+	s.penalize(ctx)
+	writes := 0
+	if ctx.HadState || ctx.Allocated {
+		s.lp.RestoreState(ctx.PC, ctx.PreState)
+		writes++
+	}
+	s.lp.ApplyOutcome(ctx.PC, ctx.ActualTaken)
+	for _, ps := range ctx.Limited {
+		s.lp.RestoreState(ps.PC, ps.St)
+		writes++
+	}
+	if s.invalidate {
+		s.lp.InvalidateAll()
+		// Re-validate the repaired PCs.
+		if ctx.HadState || ctx.Allocated {
+			s.lp.RestoreState(ctx.PC, ctx.PreState)
+			s.lp.ApplyOutcome(ctx.PC, ctx.ActualTaken)
+		}
+		for _, ps := range ctx.Limited {
+			s.lp.RestoreState(ps.PC, ps.St)
+		}
+	}
+	s.st.Repairs++
+	s.st.RepairWrites += uint64(writes)
+	s.beginBusy(cycle, Ports{CkptRead: s.m, BHTWrite: s.writePorts}.cycles(0, writes))
+}
+
+// StorageBits implements Scheme: 24 bits per carried PC state (5-bit set,
+// 8-bit tag, 11-bit pattern, §3.3) across 224 ROB entries.
+func (s *LimitedPC) StorageBits() int {
+	return s.lp.StorageBits() + 224*24*s.m
+}

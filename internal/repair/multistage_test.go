@@ -1,0 +1,155 @@
+package repair
+
+import (
+	"testing"
+
+	"localbp/internal/bpu/loop"
+)
+
+// msTrain drives the multi-stage scheme through loop visits using both
+// pipeline stages, mispredicting exits until the predictor takes over.
+func msTrain(d *driver, pc uint64, period, visits int) {
+	for v := 0; v < visits; v++ {
+		for i := 0; i < period; i++ {
+			actual := i < period-1
+			pred := true // baseline predicts the dominant direction
+			if p := d.s.FetchPredict(pc, d.cycle); p.Valid {
+				pred = p.Taken
+			}
+			ctx := d.fetch(pc, pred, actual) // fetch() also runs AllocCheck
+			d.resolveRetire(ctx)
+		}
+	}
+}
+
+func TestMultiStageLearnsAndOverrides(t *testing.T) {
+	s := NewMultiStage(loop.Loop128(), 64, true)
+	d := newDriver(t, s)
+	pc := uint64(0x400000)
+	msTrain(d, pc, 10, 20)
+	// After training, the fetch stage (BHT-TAGE) must produce loop
+	// predictions, including the exit.
+	sawExit := false
+	for i := 0; i < 10; i++ {
+		p := s.FetchPredict(pc, d.cycle)
+		if !p.Valid {
+			t.Fatalf("iteration %d: fetch stage silent after training", i)
+		}
+		if !p.Taken {
+			sawExit = true
+		}
+		ctx := d.fetch(pc, p.Taken, i < 9)
+		d.resolveRetire(ctx)
+	}
+	if !sawExit {
+		t.Fatal("fetch stage never predicted the exit")
+	}
+}
+
+func TestMultiStageDeferredOverride(t *testing.T) {
+	// When the fetch stage cannot help (entry invalidated), BHT-Defer must
+	// catch a wrong in-flight prediction at the allocation stage.
+	s := NewMultiStage(loop.Loop128(), 64, true)
+	d := newDriver(t, s)
+	pc := uint64(0x400000)
+	msTrain(d, pc, 8, 24)
+
+	// Find the point just before an exit by reading BHT-Defer's state.
+	st, ok := s.bhtDefer.LookupState(pc)
+	if !ok {
+		t.Fatal("no defer state after training")
+	}
+	// Advance both stages to the final iteration (count = period-1), the
+	// point where the next instance is the exit.
+	for st.Count < 7 {
+		ctx := d.fetch(pc, true, true)
+		d.resolveRetire(ctx)
+		st, _ = s.bhtDefer.LookupState(pc)
+	}
+	// Disable the fetch stage for this PC and present a wrong prediction:
+	// the alloc stage must request a resteer to the exit direction.
+	s.bhtTage.Invalidate(pc)
+	d.seq++
+	ctx := &BranchCtx{}
+	ResetCtx(ctx)
+	ctx.PC, ctx.Seq = pc, d.seq
+	ctx.PredTaken, ctx.ActualTaken = true, false // exit, predicted taken
+	ctx.OverrideAllowed = true
+	s.OnFetchBranch(ctx, d.cycle)
+	override, dir := s.AllocCheck(ctx, d.cycle)
+	if !override || dir != false {
+		t.Fatalf("deferred override = (%v, %v), want (true, false)", override, dir)
+	}
+	if s.Stats().EarlyResteers == 0 {
+		t.Fatal("early resteer not counted")
+	}
+}
+
+func TestMultiStageRepairCopiesToFetchStage(t *testing.T) {
+	s := NewMultiStage(loop.Loop128(), 64, true)
+	d := newDriver(t, s)
+	pcA, pcB := uint64(0x400000), uint64(0x400400)
+	msTrain(d, pcA, 10, 20)
+	msTrain(d, pcB, 7, 20)
+
+	preA, _ := s.bhtDefer.LookupState(pcA)
+	// Mispredicted branch at pcA followed by corrupting younger updates.
+	ctxA := d.fetch(pcA, false, true)
+	young := []*BranchCtx{d.fetch(pcB, true, true), d.fetch(pcA, true, true)}
+	d.cycle++
+	s.OnMispredict(ctxA, d.cycle)
+	for _, c := range young {
+		s.OnSquash(c)
+	}
+	s.OnRetire(ctxA, true)
+
+	wantA := preA
+	wantA.Count++ // rewound, then the actual taken outcome applied
+	if got, _ := s.bhtDefer.LookupState(pcA); got != wantA {
+		t.Errorf("defer stage state %+v, want %+v", got, wantA)
+	}
+	// The fetch stage must have received the repaired image too.
+	if got, ok := s.bhtTage.LookupState(pcA); !ok || got.Count != wantA.Count {
+		t.Errorf("fetch stage not repaired: %+v ok=%v want count %d", got, ok, wantA.Count)
+	}
+}
+
+func TestMultiStageSharedVsSplitPT(t *testing.T) {
+	shared := NewMultiStage(loop.Loop128(), 32, true)
+	split := NewMultiStage(loop.Loop128(), 32, false)
+	if shared.StorageBits() > split.StorageBits() {
+		t.Fatal("a shared full-size PT must not cost more than two half PTs")
+	}
+	if shared.bhtTage.PT() != shared.bhtDefer.PT() {
+		t.Fatal("shared design has distinct PTs")
+	}
+	if split.bhtTage.PT() == split.bhtDefer.PT() {
+		t.Fatal("split design shares a PT")
+	}
+}
+
+func TestMultiStageHalvesBHT(t *testing.T) {
+	s := NewMultiStage(loop.Loop128(), 32, true)
+	if s.bhtTage.Entries() != 64 || s.bhtDefer.Entries() != 64 {
+		t.Fatalf("split BHT sizes %d/%d, want 64/64",
+			s.bhtTage.Entries(), s.bhtDefer.Entries())
+	}
+}
+
+func TestMultiStageNoResteerOnWrongPath(t *testing.T) {
+	s := NewMultiStage(loop.Loop128(), 64, true)
+	d := newDriver(t, s)
+	pc := uint64(0x400000)
+	msTrain(d, pc, 8, 24)
+	d.seq++
+	ctx := &BranchCtx{}
+	ResetCtx(ctx)
+	ctx.PC, ctx.Seq = pc, d.seq
+	ctx.PredTaken, ctx.ActualTaken = true, false
+	ctx.OverrideAllowed = true
+	ctx.WrongPath = true
+	s.OnFetchBranch(ctx, d.cycle)
+	if override, _ := s.AllocCheck(ctx, d.cycle); override {
+		t.Fatal("wrong-path instruction triggered a resteer")
+	}
+}

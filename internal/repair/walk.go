@@ -1,0 +1,232 @@
+package repair
+
+import (
+	"fmt"
+
+	"localbp/internal/bpu/loop"
+	"localbp/internal/obq"
+)
+
+// walkBase is shared by the backward- and forward-walk history-file schemes:
+// an OBQ records pre-update BHT state at prediction time; a misprediction
+// walks the queue to restore the BHT, consuming checkpoint-read and
+// BHT-write port bandwidth.
+type walkBase struct {
+	schemeBase
+	q     *obq.Queue
+	ports Ports
+}
+
+func (w *walkBase) checkpoint(ctx *BranchCtx) {
+	if !ctx.HadState && !ctx.Allocated {
+		// Paper §5 "OBQ design": PCs that miss in the BHT are assigned
+		// the id of the entry before the tail rather than a fresh entry;
+		// they need no restore of their own.
+		ctx.OBQID = -1
+		return
+	}
+	ctx.OBQID = w.q.Alloc(ctx.PC, ctx.Seq, ctx.PreState)
+	if ctx.OBQID < 0 {
+		ctx.CkptSkipped = true
+		w.st.CkptMisses++
+	}
+}
+
+// OnFetchBranch implements Scheme.
+func (w *walkBase) OnFetchBranch(ctx *BranchCtx, cycle int64) {
+	if !w.specUpdate(ctx, cycle) {
+		return // BHT busy: no update, no checkpoint (paper §2.5b)
+	}
+	w.checkpoint(ctx)
+}
+
+// OnRetire implements Scheme.
+func (w *walkBase) OnRetire(ctx *BranchCtx, finalMisp bool) {
+	if ctx.OBQID >= 0 {
+		w.q.Release(ctx.OBQID)
+	}
+	w.schemeBase.OnRetire(ctx, finalMisp)
+}
+
+// OnSquash implements Scheme.
+func (w *walkBase) OnSquash(ctx *BranchCtx) {
+	if ctx.OBQID >= 0 {
+		w.q.Release(ctx.OBQID)
+	}
+}
+
+// repairRestart accounts an overlapping repair (paper §2.5c / §3.1): an
+// ongoing walk superseded by a new misprediction restarts.
+func (w *walkBase) repairRestart(cycle int64) {
+	if w.busy(cycle) {
+		w.st.Restarts++
+	}
+}
+
+// BackwardWalk is the prior-art history-file repair of Skadron et al.: on a
+// misprediction the OBQ is walked from the youngest entry back to the
+// mispredicting instruction, writing every recorded pre-update state into
+// the BHT. The same PC may be written several times (Figure 5a), wasting
+// write-port bandwidth and stretching the busy window.
+type BackwardWalk struct {
+	walkBase
+}
+
+// NewBackwardWalk builds the scheme: cfg sizes the predictor, entries the
+// OBQ, ports the repair bandwidth.
+func NewBackwardWalk(cfg loop.Config, entries int, ports Ports) *BackwardWalk {
+	return NewBackwardWalkFor(loop.New(cfg), entries, ports)
+}
+
+// NewBackwardWalkFor builds the scheme around any local predictor.
+func NewBackwardWalkFor(lp loop.LocalPredictor, entries int, ports Ports) *BackwardWalk {
+	s := &BackwardWalk{}
+	s.lp = lp
+	s.q = obq.New(entries, false)
+	s.ports = ports
+	return s
+}
+
+// Name implements Scheme.
+func (s *BackwardWalk) Name() string {
+	return fmt.Sprintf("backward-walk-%d-%d-%d", s.q.Cap(), s.ports.CkptRead, s.ports.BHTWrite)
+}
+
+// OnMispredict implements Scheme.
+func (s *BackwardWalk) OnMispredict(ctx *BranchCtx, cycle int64) {
+	s.penalize(ctx)
+	s.repairRestart(cycle)
+	if ctx.OBQID < 0 {
+		// Not checkpointed: the OBQ state is not recovered (paper §3.1);
+		// younger bogus entries still must go.
+		s.q.SquashYoungerSeq(ctx.Seq)
+		s.st.Unrepaired++
+		return
+	}
+	reads, writes := 0, 0
+	s.q.WalkBack(ctx.OBQID, func(id int64, e *obq.Entry) {
+		s.lp.RestoreState(e.PC, e.State)
+		reads++
+		writes++
+	})
+	s.lp.ApplyOutcome(ctx.PC, ctx.ActualTaken)
+	s.q.SquashAfter(ctx.OBQID)
+	s.st.Repairs++
+	s.st.RepairReads += uint64(reads)
+	s.st.RepairWrites += uint64(writes)
+	s.beginBusy(cycle, s.ports.cycles(reads, writes))
+}
+
+// StorageBits implements Scheme: predictor + OBQ entries (76 bits each,
+// paper §5) + the OBQ id and counter carried per ROB entry.
+func (s *BackwardWalk) StorageBits() int {
+	return s.lp.StorageBits() + s.q.Cap()*76 + 224*16
+}
+
+// ForwardWalk is contribution 1 (paper §3.1): the walk starts at the
+// mispredicting instruction and moves toward younger entries. With the
+// per-entry repair bit, each PC is written at most once per repair (its
+// oldest — and therefore correct — recorded state), and the mispredicting
+// PC recovers first, so temporally-close correct-path instructions can be
+// re-predicted immediately. Optional coalescing merges consecutive same-PC
+// OBQ allocations to relieve capacity pressure (Figure 5b).
+type ForwardWalk struct {
+	walkBase
+	coalesce bool
+}
+
+// NewForwardWalk builds the scheme; coalesce enables OBQ entry merging.
+func NewForwardWalk(cfg loop.Config, entries int, ports Ports, coalesce bool) *ForwardWalk {
+	return NewForwardWalkFor(loop.New(cfg), entries, ports, coalesce)
+}
+
+// NewForwardWalkFor builds the scheme around any local predictor.
+func NewForwardWalkFor(lp loop.LocalPredictor, entries int, ports Ports, coalesce bool) *ForwardWalk {
+	s := &ForwardWalk{coalesce: coalesce}
+	s.lp = lp
+	s.q = obq.New(entries, coalesce)
+	s.ports = ports
+	return s
+}
+
+// Name implements Scheme.
+func (s *ForwardWalk) Name() string {
+	n := fmt.Sprintf("forward-walk-%d-%d-%d", s.q.Cap(), s.ports.CkptRead, s.ports.BHTWrite)
+	if s.coalesce {
+		n += "+coalesce"
+	}
+	return n
+}
+
+// FetchPredict implements Scheme: the forward walk's key property (paper
+// §3.1) is that a PC whose repair bit has been cleared is already in its
+// final state, so it can give predictions while the rest of the walk is
+// still in progress. Backward walk cannot guarantee this until the walk
+// completes.
+func (s *ForwardWalk) FetchPredict(pc uint64, cycle int64) loop.Prediction {
+	if s.busy(cycle) && s.lp.RepairBitSet(pc) {
+		return loop.Prediction{}
+	}
+	return s.lp.Predict(pc)
+}
+
+// OnFetchBranch implements Scheme: PCs already repaired this walk may also
+// resume speculative updates and checkpointing.
+func (s *ForwardWalk) OnFetchBranch(ctx *BranchCtx, cycle int64) {
+	if s.busy(cycle) && s.lp.RepairBitSet(ctx.PC) {
+		s.lp.Invalidate(ctx.PC)
+		ctx.CkptSkipped = true
+		s.st.CkptMisses++
+		return
+	}
+	st, had := s.lp.LookupState(ctx.PC)
+	ctx.PreState, ctx.HadState = st, had
+	ctx.Allocated = s.lp.SpecUpdate(ctx.PC, ctx.PredTaken)
+	if ctx.Allocated {
+		if pt := s.lp.PatternInfo(ctx.PC); pt.Valid {
+			ctx.PreState.Dir = pt.Dir
+		}
+	}
+	s.checkpoint(ctx)
+}
+
+// OnMispredict implements Scheme.
+func (s *ForwardWalk) OnMispredict(ctx *BranchCtx, cycle int64) {
+	s.penalize(ctx)
+	s.repairRestart(cycle)
+	if ctx.OBQID < 0 {
+		s.q.SquashYoungerSeq(ctx.Seq)
+		s.st.Unrepaired++
+		return
+	}
+	// Repair bits arm across the BHT; the first write per PC clears its bit.
+	s.lp.RepairStart()
+	reads, writes := 0, 0
+	s.q.Walk(ctx.OBQID, func(id int64, e *obq.Entry) {
+		reads++
+		if !s.lp.RepairBitSet(e.PC) {
+			return // already repaired this walk
+		}
+		if e.PC == ctx.PC && id == ctx.OBQID {
+			// With coalescing the shared entry holds the run's first
+			// instance; an intermediate instance repairs itself from
+			// the state carried with the instruction (paper §3.1).
+			s.lp.RestoreState(ctx.PC, ctx.PreState)
+		} else {
+			s.lp.RestoreState(e.PC, e.State)
+		}
+		writes++
+	})
+	s.lp.ApplyOutcome(ctx.PC, ctx.ActualTaken)
+	s.q.SquashAfter(ctx.OBQID)
+	s.st.Repairs++
+	s.st.RepairReads += uint64(reads)
+	s.st.RepairWrites += uint64(writes)
+	s.beginBusy(cycle, s.ports.cycles(reads, writes))
+}
+
+// StorageBits implements Scheme: predictor + repair bits + OBQ + 16 bits per
+// ROB entry (5-bit OBQ id + 11-bit counter), per Table 3's 0.77KB costing.
+func (s *ForwardWalk) StorageBits() int {
+	return s.lp.StorageBits() + s.lp.Entries() + s.q.Cap()*76 + 224*16
+}

@@ -1,0 +1,27 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace hardens the binary trace decoder against corrupt input: it
+// must return an error or a valid trace, never panic.
+func FuzzReadTrace(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteTrace(&seed, []Inst{{PC: 1, Class: ClassALU}, {PC: 2, Class: ClassBranch, Taken: true}})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is definitely not a trace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, in := range tr {
+			if in.Class >= numClasses {
+				t.Fatalf("decoder produced invalid class %d", in.Class)
+			}
+		}
+	})
+}

@@ -1,0 +1,315 @@
+package trace
+
+import "fmt"
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// Region is a piece of synthetic program structure. A Program is an implicit
+// outer infinite loop over its regions; Emit produces the dynamic
+// instructions of one traversal.
+type Region interface {
+	Emit(e *Emitter)
+}
+
+// Program is a synthetic program: an ordered list of regions executed
+// round-robin until the requested instruction count is reached.
+type Program struct {
+	Regions []Region
+	// MemProfile controls the memory behaviour of filler loads/stores.
+	MemProfile MemProfile
+	// DepDist is the typical register dependence distance (higher = more ILP).
+	DepDist int
+	// Independence is the probability an operand reads a long-ready value
+	// (immediate, loop invariant) instead of a recent producer; higher
+	// values yield more ILP. Zero selects the default of 0.75.
+	Independence float64
+}
+
+// MemProfile parameterizes the address streams of loads and stores.
+type MemProfile struct {
+	// FootprintLog2 is log2 of the byte footprint of the random-access pool.
+	FootprintLog2 int
+	// StreamFrac is the fraction of accesses that walk sequential streams
+	// (prefetch-friendly); the remainder are uniform over the footprint.
+	StreamFrac float64
+	// LoadFrac and StoreFrac are per-instruction probabilities used by
+	// Block regions when choosing filler classes.
+	LoadFrac, StoreFrac float64
+}
+
+// DefaultMemProfile returns a moderate memory profile: 1MB footprint,
+// two-thirds streaming.
+func DefaultMemProfile() MemProfile {
+	return MemProfile{FootprintLog2: 19, StreamFrac: 0.80, LoadFrac: 0.25, StoreFrac: 0.10}
+}
+
+// Emitter accumulates the dynamic instruction stream while walking a
+// Program. It owns PC assignment, register-dependence shaping, address
+// streams, and the architectural global branch history exposed to
+// CorrelatedPattern sites.
+type Emitter struct {
+	out     []Inst
+	rng     *RNG
+	limit   int
+	hist    uint64 // global outcome history, low bit most recent
+	prof    MemProfile
+	depDist int
+	indep   float64
+
+	// register scoreboard: recent destination registers, newest last
+	recentDst [16]uint8
+	nRecent   int
+
+	// streaming address state
+	streamAddr [4]uint64
+	streamSel  int
+
+	nextDst uint8
+}
+
+// Done reports whether the emitter has reached its instruction budget.
+func (e *Emitter) Done() bool { return len(e.out) >= e.limit }
+
+// RNG exposes the emitter's random source to regions.
+func (e *Emitter) RNG() *RNG { return e.rng }
+
+// Hist returns the architectural global outcome history.
+func (e *Emitter) Hist() uint64 { return e.hist }
+
+func (e *Emitter) pickSrc() uint8 {
+	// Half the operands read long-ready values (immediates, loop
+	// invariants, stack slots); the rest read recent producers at a
+	// distance shaped by DepDist. Register 0 is hardwired-zero and
+	// always ready.
+	if e.nRecent == 0 || e.rng.Bool(e.indep) {
+		return uint8(e.rng.Intn(NumRegs))
+	}
+	d := e.rng.Intn(e.depDist + 1)
+	if d >= e.nRecent {
+		return uint8(e.rng.Intn(NumRegs))
+	}
+	idx := (int(e.nextDst) - 1 - d + 2*len(e.recentDst)) % len(e.recentDst)
+	if idx >= e.nRecent {
+		idx = e.nRecent - 1
+	}
+	return e.recentDst[idx]
+}
+
+func (e *Emitter) noteDst(r uint8) {
+	e.recentDst[int(e.nextDst)%len(e.recentDst)] = r
+	e.nextDst++
+	if e.nRecent < len(e.recentDst) {
+		e.nRecent++
+	}
+}
+
+func (e *Emitter) address() uint64 {
+	if e.rng.Float64() < e.prof.StreamFrac {
+		e.streamSel = (e.streamSel + 1) % len(e.streamAddr)
+		e.streamAddr[e.streamSel] += 8
+		return e.streamAddr[e.streamSel]
+	}
+	mask := (uint64(1) << e.prof.FootprintLog2) - 1
+	return (e.rng.Uint64() & mask) &^ 7
+}
+
+// EmitFiller appends one non-branch instruction of the given class.
+func (e *Emitter) EmitFiller(pc uint64, class Class) {
+	in := Inst{
+		PC:    pc,
+		Class: class,
+		Dst:   uint8(1 + e.rng.Intn(NumRegs-1)),
+		Src1:  e.pickSrc(),
+	}
+	// Many operations are unary or use an immediate second operand.
+	if e.rng.Bool(0.45) {
+		in.Src2 = e.pickSrc()
+	}
+	if class == ClassLoad || class == ClassStore {
+		in.Addr = e.address()
+		if class == ClassStore {
+			in.Dst = 0
+		}
+	}
+	if in.Dst != 0 {
+		e.noteDst(in.Dst)
+	}
+	e.out = append(e.out, in)
+}
+
+// EmitBranch appends one conditional branch with the given outcome and
+// updates the architectural global history. Branches usually test a freshly
+// computed value (a loop counter, a loaded flag), so their source operand
+// prefers recent producers — which is what delays branch resolution in the
+// back end and opens the misprediction repair window the paper studies.
+func (e *Emitter) EmitBranch(pc uint64, taken bool, target uint64) {
+	src := e.pickRecentSrc()
+	e.out = append(e.out, Inst{
+		PC:     pc,
+		Class:  ClassBranch,
+		Taken:  taken,
+		Target: target,
+		Src1:   src,
+	})
+	e.hist = e.hist<<1 | b2u(taken)
+}
+
+// pickRecentSrc prefers a recent producer (80%) over a long-ready register.
+func (e *Emitter) pickRecentSrc() uint8 {
+	if e.nRecent == 0 || e.rng.Bool(0.2) {
+		return uint8(e.rng.Intn(NumRegs))
+	}
+	d := e.rng.Intn(e.depDist + 1)
+	if d >= e.nRecent {
+		d = e.nRecent - 1
+	}
+	idx := (int(e.nextDst) - 1 - d + 2*len(e.recentDst)) % len(e.recentDst)
+	if idx >= e.nRecent {
+		idx = e.nRecent - 1
+	}
+	return e.recentDst[idx]
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Generate runs the program until n instructions have been emitted,
+// returning the dynamic stream. Generation is deterministic in seed.
+func Generate(p Program, n int, seed int64) []Inst {
+	if n <= 0 {
+		return nil
+	}
+	prof := p.MemProfile
+	if prof.FootprintLog2 == 0 {
+		prof = DefaultMemProfile()
+	}
+	dep := p.DepDist
+	if dep <= 0 {
+		dep = 4
+	}
+	indep := p.Independence
+	if indep == 0 {
+		indep = 0.75
+	}
+	e := &Emitter{
+		out:     make([]Inst, 0, n+64),
+		rng:     NewRNG(seed),
+		limit:   n,
+		prof:    prof,
+		depDist: dep,
+		indep:   indep,
+	}
+	for i := range e.streamAddr {
+		// Stagger stream bases by a prime number of cache lines so
+		// lockstep streams never collide in the same set.
+		e.streamAddr[i] = uint64(0x1000_0000)*uint64(i+1) + uint64(i)*13*64
+	}
+	if len(p.Regions) == 0 {
+		panic("trace: Generate on program with no regions")
+	}
+	for !e.Done() {
+		for _, r := range p.Regions {
+			r.Emit(e)
+			if e.Done() {
+				break
+			}
+		}
+	}
+	return e.out[:n]
+}
+
+// pcBase spreads region site PCs so that set-indexed predictor structures
+// see a realistic distribution. Each site id owns a distinct 1KB PC region;
+// the site's branch (if any) sits at offset 0 and filler code above it.
+func pcBase(site int) uint64 { return 0x400000 + uint64(site)*0x400 }
+
+// SitePC returns the branch PC of a site id (analysis tooling).
+func SitePC(site int) uint64 { return pcBase(site) }
+
+// Block is straight-line filler code of Len instructions using the program's
+// memory profile for class selection. Every Block has a stable set of PCs.
+type Block struct {
+	Site int
+	Len  int
+}
+
+// Emit implements Region.
+func (b Block) Emit(e *Emitter) {
+	emitBlockAt(e, pcBase(b.Site)+0x40, b.Len)
+}
+
+func emitBlockAt(e *Emitter, base uint64, n int) {
+	for i := 0; i < n; i++ {
+		pc := base + uint64(i)*4
+		var class Class
+		switch v := e.rng.Float64(); {
+		case v < e.prof.LoadFrac:
+			class = ClassLoad
+		case v < e.prof.LoadFrac+e.prof.StoreFrac:
+			class = ClassStore
+		case v < e.prof.LoadFrac+e.prof.StoreFrac+0.08:
+			class = ClassMul
+		case v < e.prof.LoadFrac+e.prof.StoreFrac+0.16:
+			class = ClassFP
+		default:
+			class = ClassALU
+		}
+		e.EmitFiller(pc, class)
+	}
+}
+
+// Loop is a counted loop closed by a backward conditional branch at a single
+// PC: taken to iterate, not-taken to exit (the TTT...N shape). Body regions
+// run once per iteration. Periods produces the per-visit trip count.
+type Loop struct {
+	Site    int
+	Periods PeriodGen
+	Body    []Region
+}
+
+// Emit implements Region. One Emit is one complete visit to the loop.
+func (l Loop) Emit(e *Emitter) {
+	iters := l.Periods.Next(e.rng)
+	pc := pcBase(l.Site)
+	for i := 0; i < iters; i++ {
+		for _, r := range l.Body {
+			r.Emit(e)
+			if e.Done() {
+				return
+			}
+		}
+		// Backward branch: taken while iterating, not-taken on exit.
+		e.EmitBranch(pc, i < iters-1, pc-uint64(8))
+		if e.Done() {
+			return
+		}
+	}
+}
+
+// Cond is an if-then-else site: a forward branch whose outcome comes from a
+// PatternGen, guarding a then-block (executed on not-taken, i.e. fallthrough)
+// with an optional else-block.
+type Cond struct {
+	Site    int
+	Outcome PatternGen
+	ThenLen int
+	ElseLen int
+}
+
+// Emit implements Region.
+func (c Cond) Emit(e *Emitter) {
+	pc := pcBase(c.Site)
+	taken := c.Outcome.Next(e.rng, e.hist)
+	e.EmitBranch(pc, taken, pc+0x200)
+	if taken {
+		if c.ElseLen > 0 {
+			emitBlockAt(e, pc+0x200, c.ElseLen)
+		}
+	} else if c.ThenLen > 0 {
+		emitBlockAt(e, pc+0x100, c.ThenLen)
+	}
+}

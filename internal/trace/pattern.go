@@ -1,0 +1,221 @@
+package trace
+
+// PeriodGen produces the number of iterations for successive visits to a
+// loop. Implementations capture the exit-iteration entropy spectrum the
+// paper's workloads span: fixed trip counts (ideal for a loop predictor),
+// cyclic and mildly noisy counts (partially capturable), and high-entropy
+// counts (uncapturable; these exercise PT confidence filtering).
+type PeriodGen interface {
+	// Next returns the iteration count for the next visit (>= 1).
+	Next(r *RNG) int
+	// Describe returns a short human-readable description.
+	Describe() string
+}
+
+// FixedPeriod yields the same trip count on every visit.
+type FixedPeriod int
+
+// Next implements PeriodGen.
+func (p FixedPeriod) Next(*RNG) int { return int(p) }
+
+// Describe implements PeriodGen.
+func (p FixedPeriod) Describe() string { return sprintf("fixed(%d)", int(p)) }
+
+// CyclePeriod cycles deterministically through a list of trip counts.
+type CyclePeriod struct {
+	Counts []int
+	pos    int
+}
+
+// Next implements PeriodGen.
+func (p *CyclePeriod) Next(*RNG) int {
+	c := p.Counts[p.pos%len(p.Counts)]
+	p.pos++
+	return c
+}
+
+// Describe implements PeriodGen.
+func (p *CyclePeriod) Describe() string { return sprintf("cycle(%v)", p.Counts) }
+
+// NoisyPeriod yields Base, occasionally (probability Prob) perturbed by up to
+// ±Jitter. Low noise lets a loop predictor build confidence and still win;
+// high noise defeats it.
+type NoisyPeriod struct {
+	Base   int
+	Jitter int
+	Prob   float64
+}
+
+// Next implements PeriodGen.
+func (p NoisyPeriod) Next(r *RNG) int {
+	n := p.Base
+	if p.Jitter > 0 && r.Bool(p.Prob) {
+		n += r.Range(-p.Jitter, p.Jitter)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Describe implements PeriodGen.
+func (p NoisyPeriod) Describe() string {
+	return sprintf("noisy(%d±%d@%.2f)", p.Base, p.Jitter, p.Prob)
+}
+
+// EntropicPeriod yields a uniform trip count in [Min, Max]: data-dependent
+// exits no predictor captures (the "data entropy" losses of paper §2.7).
+type EntropicPeriod struct {
+	Min, Max int
+}
+
+// Next implements PeriodGen.
+func (p EntropicPeriod) Next(r *RNG) int { return r.Range(p.Min, p.Max) }
+
+// Describe implements PeriodGen.
+func (p EntropicPeriod) Describe() string { return sprintf("entropic[%d,%d]", p.Min, p.Max) }
+
+// TrianglePeriod sweeps the trip count linearly from Min to Max and back —
+// the shape of triangular nested loops (for i { for j < i {...} }), a
+// classic case where the exit count changes every visit in a way neither a
+// loop predictor nor TAGE captures, but whose *average* behaviour still
+// trains confidence-gated predictors to stay silent.
+type TrianglePeriod struct {
+	Min, Max int
+	cur, dir int
+}
+
+// Next implements PeriodGen.
+func (p *TrianglePeriod) Next(*RNG) int {
+	if p.cur == 0 {
+		p.cur, p.dir = p.Min, 1
+	}
+	v := p.cur
+	p.cur += p.dir
+	if p.cur >= p.Max {
+		p.cur, p.dir = p.Max, -1
+	} else if p.cur <= p.Min {
+		p.cur, p.dir = p.Min, 1
+	}
+	return v
+}
+
+// Describe implements PeriodGen.
+func (p *TrianglePeriod) Describe() string { return sprintf("triangle[%d,%d]", p.Min, p.Max) }
+
+// PatternGen produces outcomes for an if-then-else branch site.
+type PatternGen interface {
+	// Next returns the next outcome. hist is the recent global outcome
+	// history (low bit = most recent), available to correlated sites.
+	Next(r *RNG, hist uint64) bool
+	Describe() string
+}
+
+// RepeatingPattern replays a fixed T/N sequence: the local-pattern branches
+// two-level predictors excel at.
+type RepeatingPattern struct {
+	Pattern []bool
+	pos     int
+}
+
+// Next implements PatternGen.
+func (p *RepeatingPattern) Next(*RNG, uint64) bool {
+	v := p.Pattern[p.pos%len(p.Pattern)]
+	p.pos++
+	return v
+}
+
+// Describe implements PatternGen.
+func (p *RepeatingPattern) Describe() string {
+	s := make([]byte, len(p.Pattern))
+	for i, b := range p.Pattern {
+		if b {
+			s[i] = 'T'
+		} else {
+			s[i] = 'N'
+		}
+	}
+	return "repeat(" + string(s) + ")"
+}
+
+// PeriodicPattern is taken exactly once every Period executions (the
+// NNN...T "forward conditional" shape CBPw-Loop also covers), with optional
+// period noise mirroring NoisyPeriod.
+type PeriodicPattern struct {
+	Period int
+	Jitter int
+	Prob   float64
+	left   int
+	init   bool
+}
+
+// Next implements PatternGen.
+func (p *PeriodicPattern) Next(r *RNG, _ uint64) bool {
+	if !p.init {
+		p.left = p.nextPeriod(r)
+		p.init = true
+	}
+	p.left--
+	if p.left <= 0 {
+		p.left = p.nextPeriod(r)
+		return true
+	}
+	return false
+}
+
+func (p *PeriodicPattern) nextPeriod(r *RNG) int {
+	n := p.Period
+	if p.Jitter > 0 && r.Bool(p.Prob) {
+		n += r.Range(-p.Jitter, p.Jitter)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Describe implements PatternGen.
+func (p *PeriodicPattern) Describe() string { return sprintf("periodic(%d)", p.Period) }
+
+// BiasedPattern is taken with fixed probability P, independent of history.
+// These branches create baseline MPKI and BHT pollution without giving the
+// local predictor anything to capture.
+type BiasedPattern struct {
+	P float64
+}
+
+// Next implements PatternGen.
+func (p BiasedPattern) Next(r *RNG, _ uint64) bool { return r.Bool(p.P) }
+
+// Describe implements PatternGen.
+func (p BiasedPattern) Describe() string { return sprintf("biased(%.2f)", p.P) }
+
+// CorrelatedPattern derives the outcome from the recent global history
+// (parity of selected bits), optionally flipped with noise probability.
+// TAGE captures these; a local predictor does not.
+type CorrelatedPattern struct {
+	Mask  uint64
+	Noise float64
+}
+
+// Next implements PatternGen.
+func (p CorrelatedPattern) Next(r *RNG, hist uint64) bool {
+	v := parity(hist & p.Mask)
+	if p.Noise > 0 && r.Bool(p.Noise) {
+		v = !v
+	}
+	return v
+}
+
+// Describe implements PatternGen.
+func (p CorrelatedPattern) Describe() string { return sprintf("corr(%#x)", p.Mask) }
+
+func parity(x uint64) bool {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x&1 == 1
+}

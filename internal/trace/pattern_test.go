@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedPeriod(t *testing.T) {
+	p := FixedPeriod(7)
+	r := NewRNG(1)
+	for i := 0; i < 5; i++ {
+		if got := p.Next(r); got != 7 {
+			t.Fatalf("FixedPeriod(7).Next() = %d", got)
+		}
+	}
+}
+
+func TestCyclePeriod(t *testing.T) {
+	p := &CyclePeriod{Counts: []int{3, 5, 9}}
+	r := NewRNG(1)
+	want := []int{3, 5, 9, 3, 5, 9}
+	for i, w := range want {
+		if got := p.Next(r); got != w {
+			t.Fatalf("draw %d: got %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestNoisyPeriodBounds(t *testing.T) {
+	p := NoisyPeriod{Base: 20, Jitter: 4, Prob: 1.0}
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		v := p.Next(r)
+		if v < 16 || v > 24 {
+			t.Fatalf("noisy period %d outside [16,24]", v)
+		}
+	}
+}
+
+func TestNoisyPeriodNeverBelowOne(t *testing.T) {
+	p := NoisyPeriod{Base: 1, Jitter: 5, Prob: 1.0}
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := p.Next(r); v < 1 {
+			t.Fatalf("period %d < 1", v)
+		}
+	}
+}
+
+func TestEntropicPeriodBounds(t *testing.T) {
+	f := func(seed int64, lo8, span8 uint8) bool {
+		lo := int(lo8) + 1
+		hi := lo + int(span8)
+		p := EntropicPeriod{Min: lo, Max: hi}
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := p.Next(r)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatingPattern(t *testing.T) {
+	p := &RepeatingPattern{Pattern: []bool{true, true, false}}
+	r := NewRNG(1)
+	want := []bool{true, true, false, true, true, false}
+	for i, w := range want {
+		if got := p.Next(r, 0); got != w {
+			t.Fatalf("draw %d: got %v want %v", i, got, w)
+		}
+	}
+}
+
+func TestPeriodicPatternExactPeriod(t *testing.T) {
+	p := &PeriodicPattern{Period: 5}
+	r := NewRNG(1)
+	takens := 0
+	for i := 0; i < 50; i++ {
+		if p.Next(r, 0) {
+			takens++
+			if (i+1)%5 != 0 {
+				t.Fatalf("taken at position %d, want multiples of 5", i)
+			}
+		}
+	}
+	if takens != 10 {
+		t.Fatalf("got %d takens in 50 draws, want 10", takens)
+	}
+}
+
+func TestBiasedPattern(t *testing.T) {
+	p := BiasedPattern{P: 0.8}
+	r := NewRNG(4)
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if p.Next(r, 0) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.78 || frac > 0.82 {
+		t.Fatalf("biased(0.8) hit rate %v", frac)
+	}
+}
+
+func TestCorrelatedPatternDeterministic(t *testing.T) {
+	p := CorrelatedPattern{Mask: 0b101}
+	r := NewRNG(1)
+	// Outcome is the parity of history & mask: hist=0b111 & 0b101 = 0b101,
+	// parity of two set bits = false.
+	if p.Next(r, 0b111) {
+		t.Fatal("parity(0b101) should be false")
+	}
+	if !p.Next(r, 0b001) {
+		t.Fatal("parity(0b001) should be true")
+	}
+}
+
+func TestCorrelatedPatternNoise(t *testing.T) {
+	p := CorrelatedPattern{Mask: 1, Noise: 1.0} // always flipped
+	r := NewRNG(1)
+	if !p.Next(r, 0) { // parity 0 = false, flipped = true
+		t.Fatal("noise=1 should flip the outcome")
+	}
+}
+
+func TestDescribeNonEmpty(t *testing.T) {
+	gens := []interface{ Describe() string }{
+		FixedPeriod(3), &CyclePeriod{Counts: []int{1, 2}},
+		NoisyPeriod{Base: 4}, EntropicPeriod{Min: 1, Max: 5},
+		&RepeatingPattern{Pattern: []bool{true, false}},
+		&PeriodicPattern{Period: 6}, BiasedPattern{P: 0.5},
+		CorrelatedPattern{Mask: 3},
+	}
+	for _, g := range gens {
+		if g.Describe() == "" {
+			t.Fatalf("%T has empty description", g)
+		}
+	}
+}
+
+func TestTrianglePeriodSweeps(t *testing.T) {
+	p := &TrianglePeriod{Min: 2, Max: 5}
+	r := NewRNG(1)
+	want := []int{2, 3, 4, 5, 4, 3, 2, 3}
+	for i, w := range want {
+		if got := p.Next(r); got != w {
+			t.Fatalf("draw %d: got %d want %d", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"localbp/internal/trace"
+)
+
+// Table 1 counts.
+const (
+	nServer   = 29
+	nHPC      = 8
+	nISPEC    = 34
+	nFSPEC    = 64
+	nMM       = 15
+	nBP       = 16
+	nPersonal = 36
+
+	// SuiteSize is the total workload count (202, matching Table 1).
+	SuiteSize = nServer + nHPC + nISPEC + nFSPEC + nMM + nBP + nPersonal
+)
+
+// baseProfile returns the category's center-point profile. Individual
+// workloads jitter around it (see jitter).
+func baseProfile(c Category) Profile {
+	switch c {
+	case Server:
+		// Many distinct branch PCs, moderate loop periods, lots of
+		// biased/correlated noise: high repairs-per-misprediction.
+		return Profile{
+			LoopSites: 16, PeriodMin: 16, PeriodMax: 110,
+			EntropicFrac: 0.12, NoisyFrac: 0.10, CycleFrac: 0.12,
+			BodyBranchMax: 3, NestProb: 0.62,
+			CondSites: 22, PatternMin: 3, PatternMax: 9,
+			PeriodicFrac: 0.30, CorrFrac: 0.20, BiasedFrac: 0.22, BiasedP: 0.88,
+			BlockMin: 3, BlockMax: 10, DepDist: 5, Independence: 0.90,
+			Mem: trace.MemProfile{FootprintLog2: 19, StreamFrac: 0.70, LoadFrac: 0.28, StoreFrac: 0.10},
+		}
+	case HPC:
+		// Loop-dominated with long, stable trip counts: the best case for
+		// a loop predictor. Streaming memory, high ILP.
+		return Profile{
+			LoopSites: 14, PeriodMin: 16, PeriodMax: 120,
+			EntropicFrac: 0.05, NoisyFrac: 0.08, CycleFrac: 0.10,
+			BodyBranchMax: 2, NestProb: 0.70,
+			CondSites: 6, PatternMin: 2, PatternMax: 6,
+			PeriodicFrac: 0.45, CorrFrac: 0.15, BiasedFrac: 0.15, BiasedP: 0.92,
+			BlockMin: 4, BlockMax: 14, DepDist: 8, Independence: 0.93,
+			Mem: trace.MemProfile{FootprintLog2: 20, StreamFrac: 0.92, LoadFrac: 0.30, StoreFrac: 0.12},
+		}
+	case ISPEC:
+		// Mix of loops and if-then-else patterns, as the paper notes
+		// (good combination of both branch types).
+		return Profile{
+			LoopSites: 14, PeriodMin: 18, PeriodMax: 130,
+			EntropicFrac: 0.12, NoisyFrac: 0.10, CycleFrac: 0.12,
+			BodyBranchMax: 2, NestProb: 0.58,
+			CondSites: 18, PatternMin: 3, PatternMax: 10,
+			PeriodicFrac: 0.32, CorrFrac: 0.20, BiasedFrac: 0.20, BiasedP: 0.88,
+			BlockMin: 3, BlockMax: 10, DepDist: 5, Independence: 0.91,
+			Mem: trace.MemProfile{FootprintLog2: 18, StreamFrac: 0.78, LoadFrac: 0.26, StoreFrac: 0.10},
+		}
+	case FSPEC:
+		// Loopy but memory-bound: branch gains translate into the
+		// smallest IPC improvement of any category.
+		return Profile{
+			LoopSites: 10, PeriodMin: 24, PeriodMax: 160,
+			EntropicFrac: 0.10, NoisyFrac: 0.10, CycleFrac: 0.10,
+			BodyBranchMax: 1, NestProb: 0.58,
+			CondSites: 8, PatternMin: 2, PatternMax: 6,
+			PeriodicFrac: 0.35, CorrFrac: 0.18, BiasedFrac: 0.18, BiasedP: 0.92,
+			BlockMin: 6, BlockMax: 16, DepDist: 3, Independence: 0.85,
+			Mem: trace.MemProfile{FootprintLog2: 23, StreamFrac: 0.60, LoadFrac: 0.34, StoreFrac: 0.12},
+		}
+	case Multimedia:
+		// Fixed-period kernels disturbed by frequent hard-to-predict
+		// branches: confident loop state gets corrupted often, so the
+		// category loses performance when the BHT is not repaired.
+		return Profile{
+			LoopSites: 12, PeriodMin: 14, PeriodMax: 80,
+			EntropicFrac: 0.06, NoisyFrac: 0.08, CycleFrac: 0.16,
+			BodyBranchMax: 3, NestProb: 0.45,
+			CondSites: 14, PatternMin: 4, PatternMax: 12,
+			PeriodicFrac: 0.28, CorrFrac: 0.10, BiasedFrac: 0.30, BiasedP: 0.86,
+			BlockMin: 3, BlockMax: 10, DepDist: 6, Independence: 0.92,
+			Mem: trace.MemProfile{FootprintLog2: 18, StreamFrac: 0.85, LoadFrac: 0.30, StoreFrac: 0.14},
+		}
+	case BusinessProd:
+		// Branchy interactive code: short repeating patterns, periodic
+		// conditionals, and noisy branches that trigger many flushes.
+		return Profile{
+			LoopSites: 12, PeriodMin: 12, PeriodMax: 72,
+			EntropicFrac: 0.08, NoisyFrac: 0.10, CycleFrac: 0.14,
+			BodyBranchMax: 3, NestProb: 0.40,
+			CondSites: 24, PatternMin: 3, PatternMax: 10,
+			PeriodicFrac: 0.38, CorrFrac: 0.10, BiasedFrac: 0.26, BiasedP: 0.87,
+			BlockMin: 3, BlockMax: 9, DepDist: 4, Independence: 0.90,
+			Mem: trace.MemProfile{FootprintLog2: 18, StreamFrac: 0.72, LoadFrac: 0.26, StoreFrac: 0.12},
+		}
+	case Personal:
+		// Games, codecs and tools: strong local structure with moderate
+		// noise; among the biggest MPKI reductions.
+		return Profile{
+			LoopSites: 14, PeriodMin: 16, PeriodMax: 120,
+			EntropicFrac: 0.08, NoisyFrac: 0.10, CycleFrac: 0.14,
+			BodyBranchMax: 2, NestProb: 0.58,
+			CondSites: 18, PatternMin: 3, PatternMax: 9,
+			PeriodicFrac: 0.40, CorrFrac: 0.15, BiasedFrac: 0.20, BiasedP: 0.88,
+			BlockMin: 3, BlockMax: 10, DepDist: 5, Independence: 0.91,
+			Mem: trace.MemProfile{FootprintLog2: 18, StreamFrac: 0.78, LoadFrac: 0.27, StoreFrac: 0.11},
+		}
+	default:
+		panic(fmt.Sprintf("workloads: unknown category %v", c))
+	}
+}
+
+// jitter perturbs the base profile per workload so every entry behaves like a
+// distinct phase, not a clone.
+func jitter(p Profile, r *trace.RNG) Profile {
+	scale := func(v int, lo, hi float64) int {
+		f := lo + (hi-lo)*r.Float64()
+		n := int(float64(v)*f + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	p.LoopSites = scale(p.LoopSites, 0.7, 1.4)
+	p.CondSites = scale(p.CondSites, 0.7, 1.4)
+	p.PeriodMin = scale(p.PeriodMin, 0.7, 1.3)
+	p.PeriodMax = p.PeriodMin + scale(p.PeriodMax-p.PeriodMin, 0.6, 1.5)
+	p.EntropicFrac *= 0.6 + 0.8*r.Float64()
+	p.NoisyFrac *= 0.6 + 0.8*r.Float64()
+	p.BiasedP += 0.08 * (r.Float64() - 0.5)
+	p.BlockMax = p.BlockMin + scale(p.BlockMax-p.BlockMin, 0.6, 1.4)
+	p.DepDist = scale(p.DepDist, 0.7, 1.5)
+	p.Mem.StreamFrac *= 0.8 + 0.4*r.Float64()
+	if p.Mem.StreamFrac > 0.95 {
+		p.Mem.StreamFrac = 0.95
+	}
+	return p
+}
+
+// categoryNames supplies workload name stems per category, echoing Table 1's
+// application inventory. Stems repeat with numeric suffixes as needed.
+var categoryNames = map[Category][]string{
+	Server: {"hadoop-analytics", "cloud-compression", "spark-streaming",
+		"bigbench-q", "cassandra-txn", "specjbb", "websearch", "particle-render"},
+	HPC: {"hplinpack", "specmpi", "moldyn", "sigproc", "fftproc"},
+	ISPEC: {"ispec06-perlbench", "ispec06-bzip2", "ispec06-gcc", "ispec06-mcf",
+		"ispec06-gobmk", "ispec06-hmmer", "ispec06-sjeng", "ispec06-libquantum",
+		"ispec06-h264ref", "ispec06-omnetpp", "ispec06-astar", "ispec06-xalancbmk",
+		"ispec17-perlbench", "ispec17-gcc", "ispec17-mcf", "ispec17-omnetpp",
+		"ispec17-xalancbmk", "ispec17-x264", "ispec17-deepsjeng", "ispec17-leela",
+		"ispec17-exchange2", "ispec17-xz"},
+	FSPEC: {"fspec06-bwaves", "fspec06-gamess", "fspec06-milc", "fspec06-zeusmp",
+		"fspec06-gromacs", "fspec06-cactusADM", "fspec06-leslie3d", "fspec06-namd",
+		"fspec06-dealII", "fspec06-soplex", "fspec06-povray", "fspec06-calculix",
+		"fspec06-gemsFDTD", "fspec06-tonto", "fspec06-lbm", "fspec06-wrf",
+		"fspec06-sphinx3", "fspec17-bwaves", "fspec17-cactuBSSN", "fspec17-lbm",
+		"fspec17-wrf", "fspec17-cam4", "fspec17-pop2", "fspec17-imagick",
+		"fspec17-nab", "fspec17-fotonik3d", "fspec17-roms"},
+	Multimedia:   {"photo-edit", "animation", "video-convert", "mediaplayer"},
+	BusinessProd: {"sysmark-photoshop", "sysmark-office", "pdf-edit", "email", "presentation", "spreadsheet", "documents"},
+	Personal: {"tabletmark-email", "eembc-dither", "voice-to-text", "image-convert",
+		"game", "mobilexprt", "geekbench", "tabletmark", "eembc"},
+}
+
+// special applies workload-specific tuning for the outliers the paper names
+// in Figure 7c: cloud-compression and tabletmark-email gain >15% IPC with a
+// local predictor; eembc-dither thrashes the 128-entry BHT/PT and loses.
+func special(name string, p Profile) Profile {
+	switch {
+	case strings.HasPrefix(name, "cloud-compression"), strings.HasPrefix(name, "tabletmark-email"):
+		// Dominated by long, perfectly stable loops that overflow any
+		// realistic global history: enormous local-predictor opportunity.
+		p.LoopSites = 8
+		p.PeriodMin, p.PeriodMax = 48, 180
+		p.EntropicFrac, p.NoisyFrac, p.CycleFrac = 0.02, 0.04, 0.05
+		p.CondSites = 8
+		p.BiasedFrac, p.BiasedP = 0.35, 0.72
+		p.PeriodicFrac = 0.4
+		p.BodyBranchMax = 2
+	case strings.HasPrefix(name, "eembc-dither"):
+		// Far more hot loop branches than the BHT/PT can hold: thrashing.
+		p.LoopSites = 220
+		p.PeriodMin, p.PeriodMax = 6, 24
+		p.EntropicFrac, p.NoisyFrac = 0.10, 0.10
+		p.CondSites = 40
+		p.BodyBranchMax = 1
+		p.NestProb = 0
+	}
+	return p
+}
+
+// Suite returns the full 202-entry workload list in category order.
+// The list is deterministic: names, seeds and profiles never change.
+func Suite() []Workload {
+	var out []Workload
+	add := func(c Category, n int) {
+		stems := categoryNames[c]
+		counts := make(map[string]int)
+		r := trace.NewRNG(int64(1000 + int(c)))
+		for i := 0; i < n; i++ {
+			stem := stems[i%len(stems)]
+			counts[stem]++
+			name := stem
+			if counts[stem] > 1 || n > len(stems) {
+				name = fmt.Sprintf("%s-%02d", stem, counts[stem])
+			}
+			// The named outliers keep their bare stem for readability.
+			if counts[stem] == 1 && (stem == "cloud-compression" || stem == "tabletmark-email" ||
+				stem == "eembc-dither" || stem == "sysmark-photoshop") {
+				name = stem
+			}
+			p := special(name, jitter(baseProfile(c), r))
+			out = append(out, Workload{
+				Name:     name,
+				Category: c,
+				Seed:     int64(int(c)*100000 + i*977 + 13),
+				Profile:  p,
+			})
+		}
+	}
+	add(Server, nServer)
+	add(HPC, nHPC)
+	add(ISPEC, nISPEC)
+	add(FSPEC, nFSPEC)
+	add(Multimedia, nMM)
+	add(BusinessProd, nBP)
+	add(Personal, nPersonal)
+	return out
+}
+
+// QuickSuite returns a reduced, category-balanced subset (about a quarter of
+// the full suite) for fast iteration on a single CPU.
+func QuickSuite() []Workload {
+	full := Suite()
+	var out []Workload
+	perCat := make(map[Category]int)
+	want := map[Category]int{
+		Server: 7, HPC: 3, ISPEC: 8, FSPEC: 14, Multimedia: 4, BusinessProd: 5, Personal: 9,
+	}
+	for _, w := range full {
+		if perCat[w.Category] < want[w.Category] {
+			out = append(out, w)
+			perCat[w.Category]++
+		}
+	}
+	return out
+}
+
+// ByName returns the workload with the given name, or false.
+func ByName(name string) (Workload, bool) {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// CategoryCount returns how many suite entries belong to c.
+func CategoryCount(c Category) int {
+	switch c {
+	case Server:
+		return nServer
+	case HPC:
+		return nHPC
+	case ISPEC:
+		return nISPEC
+	case FSPEC:
+		return nFSPEC
+	case Multimedia:
+		return nMM
+	case BusinessProd:
+		return nBP
+	case Personal:
+		return nPersonal
+	default:
+		return 0
+	}
+}

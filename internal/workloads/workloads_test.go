@@ -1,0 +1,209 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"localbp/internal/trace"
+)
+
+func TestSuiteSizeMatchesTable1(t *testing.T) {
+	suite := Suite()
+	if len(suite) != SuiteSize {
+		t.Fatalf("suite has %d entries, want %d", len(suite), SuiteSize)
+	}
+	if SuiteSize != 202 {
+		t.Fatalf("SuiteSize = %d, Table 1 totals 202", SuiteSize)
+	}
+	counts := map[Category]int{}
+	for _, w := range suite {
+		counts[w.Category]++
+	}
+	want := map[Category]int{
+		Server: 29, HPC: 8, ISPEC: 34, FSPEC: 64,
+		Multimedia: 15, BusinessProd: 16, Personal: 36,
+	}
+	for c, n := range want {
+		if counts[c] != n {
+			t.Errorf("%v: %d workloads, want %d", c, counts[c], n)
+		}
+		if CategoryCount(c) != n {
+			t.Errorf("CategoryCount(%v) = %d, want %d", c, CategoryCount(c), n)
+		}
+	}
+}
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range Suite() {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, b := Suite(), Suite()
+	if !reflect.DeepEqual(namesOf(a), namesOf(b)) {
+		t.Fatal("suite names unstable")
+	}
+	for i := range a {
+		if a[i].Seed != b[i].Seed {
+			t.Fatalf("seed of %s unstable", a[i].Name)
+		}
+	}
+}
+
+func namesOf(ws []Workload) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+func TestNamedOutliersPresent(t *testing.T) {
+	for _, name := range []string{"cloud-compression", "tabletmark-email", "eembc-dither", "sysmark-photoshop"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("paper-named workload %q missing from suite", name)
+		}
+	}
+}
+
+func TestByNameMiss(t *testing.T) {
+	if _, ok := ByName("not-a-workload"); ok {
+		t.Fatal("ByName found a nonexistent workload")
+	}
+}
+
+func TestGenerateDeterministicPerWorkload(t *testing.T) {
+	w := Suite()[0]
+	a := w.Generate(5000)
+	b := w.Generate(5000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("workload generation not deterministic")
+	}
+}
+
+func TestWorkloadsDiffer(t *testing.T) {
+	suite := Suite()
+	a := suite[0].Generate(2000)
+	b := suite[1].Generate(2000)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("two different workloads generated identical traces")
+	}
+}
+
+func TestQuickSuiteBalanced(t *testing.T) {
+	qs := QuickSuite()
+	if len(qs) < 30 || len(qs) >= SuiteSize {
+		t.Fatalf("quick suite size %d unreasonable", len(qs))
+	}
+	counts := map[Category]int{}
+	for _, w := range qs {
+		counts[w.Category]++
+	}
+	for _, c := range Categories() {
+		if counts[c] == 0 {
+			t.Errorf("quick suite missing category %v", c)
+		}
+	}
+}
+
+func TestBuildProgramInfoInventory(t *testing.T) {
+	w := Suite()[0]
+	prog, sites := BuildProgramInfo(w.Profile, w.Seed)
+	if len(prog.Regions) == 0 {
+		t.Fatal("program has no regions")
+	}
+	if len(sites) == 0 {
+		t.Fatal("no branch sites recorded")
+	}
+	seen := map[uint64]bool{}
+	for _, si := range sites {
+		if seen[si.PC] {
+			t.Fatalf("duplicate site PC %#x", si.PC)
+		}
+		seen[si.PC] = true
+		if si.Kind.String() == "unknown" {
+			t.Fatalf("site %#x has unknown kind", si.PC)
+		}
+		if si.Detail == "" {
+			t.Fatalf("site %#x has no detail", si.PC)
+		}
+	}
+}
+
+func TestInventoryCoversTraceBranches(t *testing.T) {
+	w := Suite()[5]
+	_, sites := BuildProgramInfo(w.Profile, w.Seed)
+	known := map[uint64]bool{}
+	for _, si := range sites {
+		known[si.PC] = true
+	}
+	tr := w.Generate(50_000)
+	for _, in := range tr {
+		if in.IsBranch() && !known[in.PC] {
+			t.Fatalf("trace branch at %#x not in the site inventory", in.PC)
+		}
+	}
+}
+
+func TestCategorySignatures(t *testing.T) {
+	// HPC must be the most loop-dominated and streaming; FSPEC the most
+	// memory-heavy footprint.
+	hpc := baseProfile(HPC)
+	fspec := baseProfile(FSPEC)
+	bp := baseProfile(BusinessProd)
+	if hpc.Mem.StreamFrac <= fspec.Mem.StreamFrac {
+		t.Error("HPC should stream more than FSPEC")
+	}
+	if fspec.Mem.FootprintLog2 <= hpc.Mem.FootprintLog2 {
+		t.Error("FSPEC should have the largest memory footprint")
+	}
+	if bp.CondSites <= hpc.CondSites {
+		t.Error("BP should be branchier than HPC")
+	}
+}
+
+func TestEembcDitherThrashes(t *testing.T) {
+	w, ok := ByName("eembc-dither")
+	if !ok {
+		t.Skip("workload missing")
+	}
+	if w.Profile.LoopSites < 128 {
+		t.Fatalf("eembc-dither has %d loop sites; needs > BHT capacity to thrash", w.Profile.LoopSites)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Server.String() != "Server" || Multimedia.String() != "MM" || BusinessProd.String() != "BP" {
+		t.Fatal("category labels changed")
+	}
+	if Category(200).String() == "" {
+		t.Fatal("unknown category should still render")
+	}
+}
+
+func TestTraceStatisticsSanity(t *testing.T) {
+	// Every category should generate traces with a healthy branch mix.
+	for _, c := range Categories() {
+		var w Workload
+		for _, cand := range Suite() {
+			if cand.Category == c {
+				w = cand
+				break
+			}
+		}
+		tr := w.Generate(30_000)
+		s := trace.Summarize(tr)
+		frac := float64(s.Branches) / float64(s.Insts)
+		if frac < 0.01 || frac > 0.40 {
+			t.Errorf("%s (%v): branch fraction %.3f out of range", w.Name, c, frac)
+		}
+		if s.UniqueBrPC < 3 {
+			t.Errorf("%s: only %d branch PCs", w.Name, s.UniqueBrPC)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package localbp reproduces "Towards the adoption of Local Branch
+// Predictors in Modern Out-of-Order Superscalar Processors" (Soundararajan
+// et al., MICRO-52, 2019): a cycle-level out-of-order core with a TAGE
+// baseline predictor, the CBPw-Loop two-level local predictor, and every
+// BHT repair scheme the paper studies — perfect, none, update-at-retire,
+// snapshot queue, backward/forward walk history files, multi-stage split
+// BHT, and limited-PC repair.
+//
+// This package is the public facade. It wires the building blocks together
+// for the common cases:
+//
+//	w, _ := localbp.Workload("cloud-compression")
+//	res := localbp.Simulate(w, 500_000, localbp.ForwardWalk())
+//	fmt.Printf("IPC %.2f, MPKI %.2f\n", res.IPC, res.MPKI)
+//
+// The full component API lives in the internal packages and is exercised by
+// the cmd/ tools, the examples/ programs and the experiment harness; see
+// DESIGN.md for the architecture and EXPERIMENTS.md for the paper-vs-
+// measured results.
+package localbp
+
+import (
+	"fmt"
+
+	"localbp/internal/bpu"
+	"localbp/internal/bpu/loop"
+	"localbp/internal/bpu/tage"
+	"localbp/internal/bpu/yehpatt"
+	"localbp/internal/core"
+	"localbp/internal/repair"
+	"localbp/internal/trace"
+	"localbp/internal/workloads"
+)
+
+// SchemeOption names a local-predictor integration (predictor + repair).
+type SchemeOption struct {
+	label string
+	make  func() repair.Scheme
+	// oracle marks the never-mispredicting local predictor of Figure 4.
+	oracle bool
+}
+
+// Label returns the option's display name.
+func (o SchemeOption) Label() string { return o.label }
+
+// BaselineTAGE simulates the TAGE-only baseline (no local predictor).
+func BaselineTAGE() SchemeOption { return SchemeOption{label: "tage"} }
+
+// PerfectRepair is the oracle upper bound: unbounded checkpoints, zero-cycle
+// repair.
+func PerfectRepair() SchemeOption {
+	return SchemeOption{label: "perfect", make: func() repair.Scheme {
+		return repair.NewPerfect(loop.Loop128())
+	}}
+}
+
+// NoRepair leaves the speculative BHT state unrepaired (paper §2.7).
+func NoRepair() SchemeOption {
+	return SchemeOption{label: "no-repair", make: func() repair.Scheme {
+		return repair.NewNone(loop.Loop128())
+	}}
+}
+
+// RetireUpdate defers BHT updates to retirement (paper §6.2).
+func RetireUpdate() SchemeOption {
+	return SchemeOption{label: "retire-update", make: func() repair.Scheme {
+		return repair.NewRetireUpdate(loop.Loop128())
+	}}
+}
+
+// BackwardWalk is the prior-art history-file repair (BWD-32-4-4).
+func BackwardWalk() SchemeOption {
+	return SchemeOption{label: "backward-walk", make: func() repair.Scheme {
+		return repair.NewBackwardWalk(loop.Loop128(), 32, repair.Ports{CkptRead: 4, BHTWrite: 4})
+	}}
+}
+
+// ForwardWalk is the paper's headline realistic repair (FWD-32-4-2 with OBQ
+// coalescing, §3.1).
+func ForwardWalk() SchemeOption {
+	return SchemeOption{label: "forward-walk", make: func() repair.Scheme {
+		return repair.NewForwardWalk(loop.Loop128(), 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, true)
+	}}
+}
+
+// MultiStage is the split-BHT two-stage design with a shared PT (§3.2).
+func MultiStage() SchemeOption {
+	return SchemeOption{label: "multistage", make: func() repair.Scheme {
+		return repair.NewMultiStage(loop.Loop128(), 32, true)
+	}}
+}
+
+// GenericLocal swaps CBPw-Loop for a generic two-level (Yeh-Patt) local
+// predictor under forward-walk repair, demonstrating the paper's claim that
+// the repair techniques extend to any local predictor design.
+func GenericLocal() SchemeOption {
+	return SchemeOption{label: "yehpatt-forward", make: func() repair.Scheme {
+		return repair.NewForwardWalkFor(yehpatt.New(yehpatt.Default128()),
+			32, repair.Ports{CkptRead: 4, BHTWrite: 2}, true)
+	}}
+}
+
+// LimitedPC repairs m PCs per misprediction (§3.3).
+func LimitedPC(m int) SchemeOption {
+	return SchemeOption{label: fmt.Sprintf("limited-%dpc", m), make: func() repair.Scheme {
+		return repair.NewLimitedPC(loop.Loop128(), m, 4, false)
+	}}
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Scheme      string
+	IPC         float64
+	MPKI        float64
+	Cycles      int64
+	Insts       uint64
+	Branches    uint64
+	Mispredicts uint64
+	// Overrides counts local-predictor overrides of TAGE; OverridesOK the
+	// ones confirmed correct on the retired path.
+	Overrides, OverridesOK uint64
+}
+
+// WorkloadInfo identifies a suite workload.
+type WorkloadInfo = workloads.Workload
+
+// Workload looks up a suite workload by name (see Workloads).
+func Workload(name string) (WorkloadInfo, bool) { return workloads.ByName(name) }
+
+// Workloads returns the full 202-entry evaluation suite (Table 1).
+func Workloads() []WorkloadInfo { return workloads.Suite() }
+
+// QuickWorkloads returns the reduced, category-balanced subset.
+func QuickWorkloads() []WorkloadInfo { return workloads.QuickSuite() }
+
+// Simulate runs one workload for n instructions on the Table 2 core under
+// the given scheme.
+func Simulate(w WorkloadInfo, n int, opt SchemeOption) Result {
+	return SimulateTrace(w.Generate(n), opt)
+}
+
+// SimulateTrace runs a prepared instruction stream under the given scheme.
+func SimulateTrace(tr []trace.Inst, opt SchemeOption) Result {
+	var scheme repair.Scheme
+	if opt.make != nil {
+		scheme = opt.make()
+	}
+	unit := bpu.NewUnit(tage.KB8(), scheme)
+	unit.Oracle = opt.oracle
+	c := core.New(core.DefaultConfig(), unit, tr)
+	st := c.Run()
+	ov, ovok := unit.OverrideStats()
+	return Result{
+		Scheme:      opt.label,
+		IPC:         st.IPC(),
+		MPKI:        st.MPKI(),
+		Cycles:      st.Cycles,
+		Insts:       st.Insts,
+		Branches:    st.Branches,
+		Mispredicts: st.Mispredicts,
+		Overrides:   ov,
+		OverridesOK: ovok,
+	}
+}

@@ -1,0 +1,65 @@
+package localbp
+
+import "testing"
+
+func TestWorkloadLookup(t *testing.T) {
+	w, ok := Workload("cloud-compression")
+	if !ok || w.Name != "cloud-compression" {
+		t.Fatal("named workload missing")
+	}
+	if _, ok := Workload("bogus"); ok {
+		t.Fatal("found a nonexistent workload")
+	}
+}
+
+func TestSuitesExposed(t *testing.T) {
+	if len(Workloads()) != 202 {
+		t.Fatalf("full suite %d, want 202", len(Workloads()))
+	}
+	if q := len(QuickWorkloads()); q == 0 || q >= 202 {
+		t.Fatalf("quick suite size %d", q)
+	}
+}
+
+func TestSimulateBaselineVsPerfect(t *testing.T) {
+	w, _ := Workload("cloud-compression")
+	base := Simulate(w, 120_000, BaselineTAGE())
+	perf := Simulate(w, 120_000, PerfectRepair())
+	if base.Insts != 120_000 || perf.Insts != 120_000 {
+		t.Fatal("instruction counts wrong")
+	}
+	if perf.MPKI >= base.MPKI {
+		t.Fatalf("perfect repair did not reduce MPKI on the loopiest workload: %.2f -> %.2f",
+			base.MPKI, perf.MPKI)
+	}
+	if perf.Overrides == 0 {
+		t.Fatal("no overrides recorded")
+	}
+	if base.Scheme != "tage" || perf.Scheme != "perfect" {
+		t.Fatal("scheme labels wrong")
+	}
+}
+
+func TestSchemeOptionLabels(t *testing.T) {
+	opts := []SchemeOption{
+		BaselineTAGE(), PerfectRepair(), NoRepair(), RetireUpdate(),
+		BackwardWalk(), ForwardWalk(), MultiStage(), LimitedPC(4), GenericLocal(),
+	}
+	seen := map[string]bool{}
+	for _, o := range opts {
+		if o.Label() == "" || seen[o.Label()] {
+			t.Fatalf("bad or duplicate label %q", o.Label())
+		}
+		seen[o.Label()] = true
+	}
+}
+
+func TestSimulateTraceSharesTrace(t *testing.T) {
+	w, _ := Workload("tabletmark-email")
+	tr := w.Generate(60_000)
+	a := SimulateTrace(tr, ForwardWalk())
+	b := SimulateTrace(tr, ForwardWalk())
+	if a != b {
+		t.Fatalf("same trace and scheme diverged:\n%+v\n%+v", a, b)
+	}
+}
