@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check build vet test race
+
+# check is the CI gate: static analysis plus the full suite under the race
+# detector (the parallel sweep runner is on by default).
+check: vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

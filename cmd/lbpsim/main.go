@@ -21,6 +21,7 @@ import (
 	"localbp/internal/bpu/tage"
 	"localbp/internal/core"
 	"localbp/internal/repair"
+	"localbp/internal/trace"
 	"localbp/internal/workloads"
 )
 
@@ -30,6 +31,8 @@ func main() {
 	schemeName := flag.String("scheme", "forward", "configuration to simulate")
 	loopSize := flag.Int("loop", 128, "CBPw-Loop entries (64, 128 or 256)")
 	tageKB := flag.Int("tage", 8, "TAGE baseline size class (8, 9 or 57)")
+	maxCycles := flag.Int64("maxcycles", 0, "abort if the run exceeds this many cycles (0 = automatic budget)")
+	stallCycles := flag.Int64("stall", 0, "abort if no instruction retires for this many cycles (0 = default deadman)")
 	flag.Parse()
 
 	w, ok := workloads.ByName(*name)
@@ -102,12 +105,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Fail fast on malformed configurations with field-level errors before
+	// any simulation state is built.
+	ccfg := core.DefaultConfig()
+	ccfg.MaxCycles = *maxCycles
+	ccfg.StallCycles = *stallCycles
+	for _, err := range []error{tcfg.Validate(), lcfg.Validate(), ccfg.Validate()} {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsim: invalid configuration:\n%v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	fmt.Printf("workload: %s (%s), %d instructions\n", w.Name, w.Category, *insts)
 	tr := w.Generate(*insts)
+	if err := trace.Validate(tr); err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsim: generated trace invalid:\n%v\n", err)
+		os.Exit(1)
+	}
 	unit := bpu.NewUnit(tcfg, scheme)
 	unit.Oracle = oracle
-	c := core.New(core.DefaultConfig(), unit, tr)
-	st := c.Run()
+	c := core.New(ccfg, unit, tr)
+	st, err := c.RunChecked()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("\ncore:\n")
 	fmt.Printf("  cycles        %12d\n", st.Cycles)

@@ -2,17 +2,30 @@
 //
 // Usage:
 //
-//	lbpsweep [-insts N] [-quick] [-list] [experiment ids...]
+//	lbpsweep [-insts N] [-quick] [-workers N] [-checkpoint file] [-list] [experiment ids...]
 //
 // Without arguments it runs every experiment (table1 … fig14b) in paper
 // order; results for configurations shared between experiments are computed
-// once. With -quick the reduced, category-balanced workload subset is used.
+// once, and workload runs within a configuration fan out across -workers
+// goroutines (GOMAXPROCS by default; results are deterministic in the
+// worker count). With -quick the reduced, category-balanced workload subset
+// is used.
+//
+// With -checkpoint, completed experiment outputs are flushed to the given
+// JSON file after each experiment; rerunning the same sweep (same -insts /
+// -warmup / -quick) skips completed experiments and replays their stored
+// output, so an interrupted sweep resumes instead of restarting.
+//
+// A workload run that panics or stops making forward progress is isolated
+// into a structured failure: the sweep completes, the affected experiment
+// reports N/M failed runs, and the failures are listed after its output.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"localbp/internal/harness"
@@ -22,6 +35,8 @@ func main() {
 	insts := flag.Int("insts", 300_000, "instructions simulated per workload")
 	warmup := flag.Int("warmup", 0, "leading retired instructions excluded from statistics")
 	quick := flag.Bool("quick", false, "use the reduced workload subset")
+	workers := flag.Int("workers", 0, "concurrent workload runs per configuration (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "JSON file for checkpoint/resume of completed experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	verbose := flag.Bool("v", false, "print per-configuration progress")
 	flag.Parse()
@@ -40,7 +55,41 @@ func main() {
 		}
 	}
 
-	r := harness.NewRunner(harness.Options{Insts: *insts, Quick: *quick, Warmup: *warmup})
+	// Validate every experiment id before running anything: a typo must
+	// surface immediately and completely, not hours into a sweep.
+	var unknown []string
+	for _, id := range ids {
+		if _, ok := harness.ExperimentByID(id); !ok {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "lbpsweep: unknown experiment ids: %s (use -list)\n",
+			strings.Join(unknown, ", "))
+		os.Exit(2)
+	}
+
+	opts := harness.Options{Insts: *insts, Quick: *quick, Warmup: *warmup, Workers: *workers}
+
+	var ck *harness.Checkpoint
+	if *checkpoint != "" {
+		loaded, err := harness.LoadCheckpoint(*checkpoint)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+			os.Exit(2)
+		}
+		ck = loaded
+		if ck == nil {
+			ck = harness.NewCheckpoint(opts)
+		} else if !ck.Matches(opts) {
+			fmt.Fprintf(os.Stderr,
+				"lbpsweep: checkpoint %s was written with -insts %d -warmup %d -quick %v; rerun with those flags or delete it\n",
+				*checkpoint, ck.Insts, ck.Warmup, ck.Quick)
+			os.Exit(2)
+		}
+	}
+
+	r := harness.NewRunner(opts)
 	if *verbose {
 		r.Log = os.Stderr
 	}
@@ -50,14 +99,54 @@ func main() {
 	}
 	fmt.Printf("lbpsweep: %s, %d instructions per workload\n\n", suite, *insts)
 
+	exitCode := 0
+	reported := 0 // failures already attributed to earlier experiments
 	for _, id := range ids {
-		e, ok := harness.ExperimentByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "lbpsweep: unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
+		e, _ := harness.ExperimentByID(id)
+		if ck != nil {
+			if done, ok := ck.Done(id); ok {
+				fmt.Printf("== %s — %s (%.1fs)\n%s\n", e.ID, e.Title, done.Seconds, done.Output)
+				continue
+			}
 		}
 		t0 := time.Now()
 		out := e.Run(r)
-		fmt.Printf("== %s — %s (%.1fs)\n%s\n", e.ID, e.Title, time.Since(t0).Seconds(), out)
+		secs := time.Since(t0).Seconds()
+
+		// Graceful degradation: failures recorded during this experiment
+		// (its own fresh specs; memoized specs reported where first run)
+		// are appended to the experiment's output so they persist through
+		// checkpoints and resumes.
+		failures := r.Failures()
+		if fresh := failures[reported:]; len(fresh) > 0 {
+			var b strings.Builder
+			fmt.Fprintf(&b, "!! %d workload run(s) failed; aggregates above cover the remaining runs:\n", len(fresh))
+			for _, f := range fresh {
+				fmt.Fprintf(&b, "!!   %s × %s [%s]: %s\n", f.Workload, f.SpecLabel, f.Phase, firstLine(f.Err.Error()))
+			}
+			out += "\n" + b.String()
+			reported = len(failures)
+			exitCode = 1
+		}
+
+		fmt.Printf("== %s — %s (%.1fs)\n%s\n", e.ID, e.Title, secs, out)
+
+		if ck != nil {
+			ck.Record(id, harness.ExperimentOutcome{Output: out, Seconds: secs})
+			if err := ck.Save(*checkpoint); err != nil {
+				fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+				os.Exit(2)
+			}
+		}
 	}
+	os.Exit(exitCode)
+}
+
+// firstLine truncates multi-line error text (stall dumps, panic stacks) for
+// the per-experiment failure summary; full detail reaches stderr with -v.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " ..."
+	}
+	return s
 }

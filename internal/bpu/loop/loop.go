@@ -15,7 +15,10 @@
 // State/Restore API exposed here.
 package loop
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Config sizes a CBPw-Loop predictor. The paper studies 64-, 128- and
 // 256-entry configurations, all 8-way set associative (Table 2).
@@ -26,6 +29,45 @@ type Config struct {
 	Ways       int
 	ConfThresh uint8 // PT confidence needed to override TAGE
 	CounterMax uint16
+}
+
+// Validate checks the configuration and returns a field-level error for
+// every violated constraint (joined), or nil. New and NewWithPT panic on a
+// config that fails validation; run Validate first to fail fast with a
+// diagnosable error before simulation starts.
+func (c Config) Validate() error {
+	var errs []error
+	bad := func(field string, got any, want string) {
+		errs = append(errs, fmt.Errorf("loop.Config.%s: got %v, want %s", field, got, want))
+	}
+	if c.Ways <= 0 {
+		bad("Ways", c.Ways, "> 0")
+	}
+	if c.Entries <= 0 {
+		bad("Entries", c.Entries, "> 0")
+	} else if c.Ways > 0 {
+		if c.Entries%c.Ways != 0 {
+			bad("Entries", c.Entries, fmt.Sprintf("a multiple of Ways (%d)", c.Ways))
+		} else if sets := c.Entries / c.Ways; sets&(sets-1) != 0 {
+			bad("Entries", c.Entries, fmt.Sprintf("a power-of-two set count (got %d sets)", sets))
+		}
+	}
+	if c.PTEntries < 0 {
+		bad("PTEntries", c.PTEntries, ">= 0 (0 = same as Entries)")
+	} else if c.PTEntries > 0 && c.Ways > 0 {
+		if c.PTEntries%c.Ways != 0 {
+			bad("PTEntries", c.PTEntries, fmt.Sprintf("a multiple of Ways (%d)", c.Ways))
+		} else if sets := c.PTEntries / c.Ways; sets&(sets-1) != 0 {
+			bad("PTEntries", c.PTEntries, fmt.Sprintf("a power-of-two set count (got %d sets)", sets))
+		}
+	}
+	if c.ConfThresh > confMax {
+		bad("ConfThresh", c.ConfThresh, fmt.Sprintf("<= %d", confMax))
+	}
+	if c.CounterMax > 2047 {
+		bad("CounterMax", c.CounterMax, "<= 2047 (11-bit iteration counter, 0 = default)")
+	}
+	return errors.Join(errs...)
 }
 
 // Loop64 is the smallest Table 2 configuration.
@@ -115,13 +157,10 @@ func New(cfg Config) *Predictor {
 // NewWithPT builds a predictor around an existing PatternTable; the
 // multi-stage split-BHT design shares one PT between two BHTs.
 func NewWithPT(cfg Config, pt *PatternTable) *Predictor {
-	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
-		panic(fmt.Sprintf("loop: bad geometry %d entries / %d ways", cfg.Entries, cfg.Ways))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	sets := cfg.Entries / cfg.Ways
-	if sets&(sets-1) != 0 {
-		panic("loop: set count must be a power of two")
-	}
 	if cfg.CounterMax == 0 {
 		cfg.CounterMax = 2047
 	}

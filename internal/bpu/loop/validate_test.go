@@ -1,0 +1,51 @@
+package loop
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidateAccepts(t *testing.T) {
+	for _, cfg := range []Config{Loop64(), Loop128(), Loop256()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"zero entries", func(c *Config) { c.Entries = 0 }, "Entries"},
+		{"zero ways", func(c *Config) { c.Ways = 0 }, "Ways"},
+		{"entries not multiple of ways", func(c *Config) { c.Entries = 130 }, "Entries"},
+		{"non-pow2 sets", func(c *Config) { c.Entries = 120; c.Ways = 8 }, "Entries"},
+		{"pt not multiple of ways", func(c *Config) { c.PTEntries = 130 }, "PTEntries"},
+		{"overflowing threshold", func(c *Config) { c.ConfThresh = confMax + 1 }, "ConfThresh"},
+		{"counter too wide", func(c *Config) { c.CounterMax = 4096 }, "CounterMax"},
+	}
+	for _, tc := range cases {
+		cfg := Loop128()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("%s: error does not name %s: %v", tc.name, tc.field, err)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an invalid config")
+		}
+	}()
+	New(Config{Entries: 100, Ways: 8})
+}

@@ -12,6 +12,7 @@
 package tage
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -27,6 +28,41 @@ type Config struct {
 	MinHist     int   // shortest geometric history length
 	MaxHist     int   // longest geometric history length
 	UsePathHist bool
+}
+
+// Validate checks the configuration and returns a field-level error for
+// every violated constraint (joined), or nil. New panics on a config that
+// fails validation; run Validate first to fail fast with a diagnosable
+// error before simulation starts.
+func (c Config) Validate() error {
+	var errs []error
+	bad := func(field string, got any, want string) {
+		errs = append(errs, fmt.Errorf("tage.Config.%s: got %v, want %s", field, got, want))
+	}
+	if c.BimodalLog2 < 1 || c.BimodalLog2 > 24 {
+		bad("BimodalLog2", c.BimodalLog2, "in [1, 24]")
+	}
+	if c.TableLog2 < 1 || c.TableLog2 > 20 {
+		bad("TableLog2", c.TableLog2, "in [1, 20]")
+	}
+	if len(c.TagBits) < 2 {
+		bad("TagBits", len(c.TagBits), ">= 2 tagged tables")
+	}
+	for i, t := range c.TagBits {
+		if t < 4 || t > 16 {
+			bad(fmt.Sprintf("TagBits[%d]", i), t, "in [4, 16]")
+		}
+	}
+	if c.MinHist < 1 {
+		bad("MinHist", c.MinHist, ">= 1")
+	}
+	if c.MaxHist <= c.MinHist {
+		bad("MaxHist", c.MaxHist, fmt.Sprintf("> MinHist (%d)", c.MinHist))
+	}
+	if c.MaxHist > histBufBits {
+		bad("MaxHist", c.MaxHist, fmt.Sprintf("<= history buffer capacity (%d)", histBufBits))
+	}
+	return errors.Join(errs...)
 }
 
 // KB8 is the paper's baseline: approximately the TAGE component of the
@@ -158,10 +194,10 @@ type Predictor struct {
 
 // New builds a predictor from cfg.
 func New(cfg Config) *Predictor {
-	nt := len(cfg.TagBits)
-	if nt < 2 {
-		panic("tage: need at least two tagged tables")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
+	nt := len(cfg.TagBits)
 	p := &Predictor{
 		cfg:      cfg,
 		base:     bimodal.New(cfg.BimodalLog2),

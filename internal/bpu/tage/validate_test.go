@@ -1,0 +1,53 @@
+package tage
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidateAccepts(t *testing.T) {
+	for _, cfg := range []Config{KB8(), KB9(), KB57()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"one table", func(c *Config) { c.TagBits = c.TagBits[:1] }, "TagBits"},
+		{"huge tag", func(c *Config) { c.TagBits[3] = 40 }, "TagBits[3]"},
+		{"zero minhist", func(c *Config) { c.MinHist = 0 }, "MinHist"},
+		{"inverted hist", func(c *Config) { c.MaxHist = c.MinHist }, "MaxHist"},
+		{"hist overflow", func(c *Config) { c.MaxHist = histBufBits + 1 }, "MaxHist"},
+		{"bad bimodal", func(c *Config) { c.BimodalLog2 = 0 }, "BimodalLog2"},
+		{"bad table size", func(c *Config) { c.TableLog2 = 30 }, "TableLog2"},
+	}
+	for _, tc := range cases {
+		cfg := KB8()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("%s: error does not name %s: %v", tc.name, tc.field, err)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an invalid config")
+		}
+	}()
+	cfg := KB8()
+	cfg.MinHist = 0
+	New(cfg)
+}

@@ -7,6 +7,9 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"localbp/internal/bpu/btb"
 	"localbp/internal/mem"
 	"localbp/internal/trace"
@@ -55,7 +58,28 @@ type Config struct {
 	// reported statistics (predictor training and cache warmup), in the
 	// spirit of Simpoint-style measurement.
 	WarmupInsts uint64
+
+	// MaxCycles bounds the total simulated cycles; exceeding it aborts the
+	// run with an ErrStalled-wrapping StallError. 0 selects an automatic
+	// budget generous enough for any sane CPI (see cycleBudget).
+	MaxCycles int64
+
+	// StallCycles is the no-retire deadman: if this many consecutive cycles
+	// pass without retiring a single instruction, the run aborts with a
+	// StallError and a pipeline dump. 0 selects DefaultStallCycles.
+	StallCycles int64
 }
+
+// DefaultStallCycles is the no-retire deadman threshold when
+// Config.StallCycles is zero. The longest legitimate retire gap is a chain
+// of DRAM misses (~170 cycles each) behind a full ROB — tens of thousands of
+// cycles without a retire is unambiguously a modeling bug.
+const DefaultStallCycles = 100_000
+
+// cycleBudget returns the automatic MaxCycles for an n-instruction program:
+// a worst-case CPI far beyond anything the memory hierarchy can produce,
+// plus slack for drain on tiny programs.
+func cycleBudget(n int) int64 { return 2_000*int64(n) + 1_000_000 }
 
 // DefaultConfig returns the Table 2 core.
 func DefaultConfig() Config {
@@ -82,6 +106,78 @@ func DefaultConfig() Config {
 		BTB:                  btb.DefaultConfig(),
 		BTBMissPenalty:       6,
 	}
+}
+
+// Validate checks the configuration and returns a field-level error for
+// every violated constraint (all violations, joined), or nil. Run it before
+// simulating so a malformed config fails fast instead of producing a
+// degenerate or non-terminating model.
+func (c Config) Validate() error {
+	var errs []error
+	bad := func(field string, got any, want string) {
+		errs = append(errs, fmt.Errorf("core.Config.%s: got %v, want %s", field, got, want))
+	}
+	if c.Width <= 0 {
+		bad("Width", c.Width, "> 0")
+	}
+	if c.ROBSize <= 0 {
+		bad("ROBSize", c.ROBSize, "> 0")
+	}
+	if c.AllocQueue <= 0 {
+		bad("AllocQueue", c.AllocQueue, "> 0")
+	}
+	if c.FrontendDepth < 0 {
+		bad("FrontendDepth", c.FrontendDepth, ">= 0")
+	}
+	if c.ResteerPenalty < 0 {
+		bad("ResteerPenalty", c.ResteerPenalty, ">= 0")
+	}
+	if c.EarlyResteerPenalty < 0 {
+		bad("EarlyResteerPenalty", c.EarlyResteerPenalty, ">= 0")
+	}
+	if c.LoadBuffer <= 0 {
+		bad("LoadBuffer", c.LoadBuffer, "> 0")
+	}
+	if c.StoreBuffer <= 0 {
+		bad("StoreBuffer", c.StoreBuffer, "> 0")
+	}
+	if c.ALUs <= 0 {
+		bad("ALUs", c.ALUs, "> 0")
+	}
+	if c.Muls <= 0 {
+		bad("Muls", c.Muls, "> 0")
+	}
+	if c.FPs <= 0 {
+		bad("FPs", c.FPs, "> 0")
+	}
+	if c.LoadPorts <= 0 {
+		bad("LoadPorts", c.LoadPorts, "> 0")
+	}
+	if c.StorePorts <= 0 {
+		bad("StorePorts", c.StorePorts, "> 0")
+	}
+	if c.LatALU < 1 {
+		bad("LatALU", c.LatALU, ">= 1")
+	}
+	if c.LatMul < 1 {
+		bad("LatMul", c.LatMul, ">= 1")
+	}
+	if c.LatFP < 1 {
+		bad("LatFP", c.LatFP, ">= 1")
+	}
+	if c.MaxWrongPathPerFlush < 0 {
+		bad("MaxWrongPathPerFlush", c.MaxWrongPathPerFlush, ">= 0")
+	}
+	if c.BTBMissPenalty < 0 {
+		bad("BTBMissPenalty", c.BTBMissPenalty, ">= 0")
+	}
+	if c.MaxCycles < 0 {
+		bad("MaxCycles", c.MaxCycles, ">= 0 (0 = automatic)")
+	}
+	if c.StallCycles < 0 {
+		bad("StallCycles", c.StallCycles, ">= 0 (0 = default)")
+	}
+	return errors.Join(errs...)
 }
 
 // Stats aggregates one simulation run.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"fmt"
 
 	"localbp/internal/bpu"
 	"localbp/internal/bpu/btb"
@@ -205,8 +206,31 @@ func (c *Core) fqFlush() {
 }
 
 // Run simulates until the program is exhausted and the pipeline drains,
-// returning the statistics.
+// returning the statistics. If the forward-progress watchdog fires it
+// panics with the *StallError; fault-tolerant callers should use RunChecked.
 func (c *Core) Run() Stats {
+	st, err := c.RunChecked()
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// RunChecked simulates like Run but converts a watchdog trip — a cycle
+// budget overrun or StallCycles consecutive cycles without a retirement —
+// into an ErrStalled-wrapping *StallError carrying a pipeline-state dump.
+// The partial statistics accumulated up to the abort are returned alongside.
+func (c *Core) RunChecked() (Stats, error) {
+	budget := c.cfg.MaxCycles
+	if budget == 0 {
+		budget = cycleBudget(len(c.prog))
+	}
+	deadman := c.cfg.StallCycles
+	if deadman == 0 {
+		deadman = DefaultStallCycles
+	}
+	lastRetireCycle := int64(0)
+	lastInsts := c.stats.Insts
 	for c.pos < len(c.prog) || c.robLen() > 0 || c.fqCount > 0 {
 		c.stepResolutions()
 		c.stepRetire()
@@ -218,12 +242,31 @@ func (c *Core) Run() Stats {
 			c.warmStats = c.stats
 			c.warmStats.Cycles = c.cycle
 		}
+		if c.stats.Insts != lastInsts {
+			lastInsts = c.stats.Insts
+			lastRetireCycle = c.cycle
+		} else if c.cycle-lastRetireCycle >= deadman {
+			c.stats.Cycles = c.cycle
+			return c.stats, &StallError{
+				Reason: fmt.Sprintf("no-retire deadman: no instruction retired in %d cycles", deadman),
+				Cycle:  c.cycle,
+				Dump:   c.dumpState(),
+			}
+		}
+		if c.cycle >= budget {
+			c.stats.Cycles = c.cycle
+			return c.stats, &StallError{
+				Reason: fmt.Sprintf("cycle budget: exceeded %d cycles for %d instructions", budget, len(c.prog)),
+				Cycle:  c.cycle,
+				Dump:   c.dumpState(),
+			}
+		}
 	}
 	c.stats.Cycles = c.cycle
 	if c.warmDone {
-		return c.stats.sub(c.warmStats)
+		return c.stats.sub(c.warmStats), nil
 	}
-	return c.stats
+	return c.stats, nil
 }
 
 // stepResolutions processes branch executions due this cycle, oldest first.

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// checkpointVersion guards the on-disk format; bump it when the layout of
+// Checkpoint changes incompatibly.
+const checkpointVersion = 1
+
+// ExperimentOutcome is one completed experiment as persisted in a sweep
+// checkpoint: its rendered output (including any failure summary) and the
+// original wall-clock cost, so a resumed sweep replays identical output.
+type ExperimentOutcome struct {
+	Output  string  `json:"output"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Checkpoint is the JSON resume state of one lbpsweep invocation. Completed
+// experiments are flushed after each experiment finishes; a restarted sweep
+// with matching options skips them and replays their stored output.
+type Checkpoint struct {
+	Version   int                          `json:"version"`
+	Insts     int                          `json:"insts"`
+	Warmup    int                          `json:"warmup"`
+	Quick     bool                         `json:"quick"`
+	Completed map[string]ExperimentOutcome `json:"completed"`
+}
+
+// NewCheckpoint returns an empty checkpoint stamped with the options that
+// parameterize experiment results.
+func NewCheckpoint(o Options) *Checkpoint {
+	return &Checkpoint{
+		Version:   checkpointVersion,
+		Insts:     o.Insts,
+		Warmup:    o.Warmup,
+		Quick:     o.Quick,
+		Completed: map[string]ExperimentOutcome{},
+	}
+}
+
+// Matches reports whether results recorded under the checkpoint's options
+// are interchangeable with results produced under o. Worker count is
+// deliberately excluded: outcomes are deterministic in it.
+func (c *Checkpoint) Matches(o Options) bool {
+	return c.Insts == o.Insts && c.Warmup == o.Warmup && c.Quick == o.Quick
+}
+
+// Done reports the stored outcome for an experiment id, if completed.
+func (c *Checkpoint) Done(id string) (ExperimentOutcome, bool) {
+	out, ok := c.Completed[id]
+	return out, ok
+}
+
+// Record marks an experiment as completed.
+func (c *Checkpoint) Record(id string, out ExperimentOutcome) {
+	c.Completed[id] = out
+}
+
+// LoadCheckpoint reads a checkpoint file. A missing file is not an error —
+// it returns (nil, nil) so the caller starts fresh. A present but
+// unreadable, unparsable or version-mismatched file is an error: silently
+// discarding resume state would restart a multi-hour sweep.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint %s: version %d, want %d (delete it to start fresh)",
+			path, c.Version, checkpointVersion)
+	}
+	if c.Completed == nil {
+		c.Completed = map[string]ExperimentOutcome{}
+	}
+	return &c, nil
+}
+
+// Save writes the checkpoint atomically (temp file + rename in the target
+// directory), so a crash mid-write never corrupts existing resume state.
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.json")
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package harness
+
+import "fmt"
+
+// Phases of one workload × spec run, recorded in RunError so a failure
+// report says where in the pipeline the run died.
+const (
+	PhaseValidate = "validate" // spec/config validation before any simulation
+	PhaseGenerate = "generate" // trace generation / trace validation
+	PhaseSimulate = "simulate" // the cycle-level simulation itself
+)
+
+// RunError is the structured failure record for one workload × spec run.
+// The parallel runner converts panics (predictor/core bugs), watchdog trips
+// (core.ErrStalled) and validation failures into RunErrors so one bad run
+// degrades a sweep instead of killing it.
+type RunError struct {
+	Workload  string // workload name ("" for spec-level validation failures)
+	SpecLabel string
+	Phase     string // PhaseValidate, PhaseGenerate or PhaseSimulate
+	Err       error  // underlying cause; errors.Is(err, core.ErrStalled) works through it
+	Stack     string // goroutine stack when recovered from a panic, else ""
+}
+
+// Error renders the workload, spec, phase and cause on one line; the panic
+// stack, if any, follows.
+func (e *RunError) Error() string {
+	w := e.Workload
+	if w == "" {
+		w = "(all workloads)"
+	}
+	msg := fmt.Sprintf("run %s × %s failed in %s: %v", w, e.SpecLabel, e.Phase, e.Err)
+	if e.Stack != "" {
+		msg += "\n" + e.Stack
+	}
+	return msg
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *RunError) Unwrap() error { return e.Err }

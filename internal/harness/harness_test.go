@@ -35,14 +35,23 @@ func TestRunTraceFullReturnsRepairStats(t *testing.T) {
 func TestTraceCacheReuses(t *testing.T) {
 	c := NewTraceCache()
 	w := workloads.QuickSuite()[0]
-	a := c.Get(w, 10_000)
-	b := c.Get(w, 10_000)
+	a, err := c.Get(w, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.Get(w, 10_000)
 	if &a[0] != &b[0] {
 		t.Fatal("cache did not reuse the trace")
 	}
-	d := c.Get(w, 20_000)
+	d, _ := c.Get(w, 20_000)
 	if len(d) != 20_000 {
 		t.Fatal("cache ignored the new instruction count")
+	}
+	if e, _ := c.Get(w, 10_000); &e[0] != &a[0] {
+		t.Fatal("changing insts evicted the old (workload, insts) entry")
+	}
+	if _, err := c.Get(w, 0); err == nil {
+		t.Fatal("zero-length trace request did not error")
 	}
 }
 

@@ -4,6 +4,11 @@
 package harness
 
 import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
 	"localbp/internal/bpu"
 	"localbp/internal/bpu/loop"
 	"localbp/internal/bpu/tage"
@@ -25,6 +30,49 @@ type Spec struct {
 	Scheme SchemeMaker
 	Oracle bool
 	Core   core.Config
+
+	// preRun, when set, is invoked at the start of every workload run with
+	// the workload name. It exists for fault-injection tests (a hook that
+	// panics for one workload exercises the runner's panic isolation) and
+	// is deliberately unexported.
+	preRun func(workload string)
+}
+
+// Validate checks everything about the spec that can fail before simulation
+// starts: the label, the TAGE and core configurations, and — by trial
+// construction — the repair scheme (which validates its loop.Config). All
+// violations are reported at once with field-level messages.
+func (s Spec) Validate() error {
+	var errs []error
+	if s.Label == "" {
+		errs = append(errs, errors.New("spec: empty Label"))
+	}
+	if err := s.Tage.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := s.Core.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if s.Scheme != nil {
+		if err := trialScheme(s.Scheme); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// trialScheme constructs one throwaway scheme instance, converting a
+// constructor panic (loop/repair geometry validation) into an error.
+func trialScheme(mk SchemeMaker) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("spec: scheme construction panicked: %v", p)
+		}
+	}()
+	if mk() == nil {
+		return errors.New("spec: scheme maker returned nil (use a nil Scheme for the baseline)")
+	}
+	return nil
 }
 
 // BaselineSpec is the TAGE-only Table 2 baseline.
@@ -53,8 +101,20 @@ func RunTrace(tr []trace.Inst, spec Spec) core.Stats {
 }
 
 // RunTraceFull simulates one trace and returns core stats plus the scheme's
-// repair stats (nil for the baseline).
+// repair stats (nil for the baseline). A watchdog trip panics; the parallel
+// runner uses RunTraceChecked instead.
 func RunTraceFull(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats) {
+	st, rst, err := RunTraceChecked(tr, spec)
+	if err != nil {
+		panic(err)
+	}
+	return st, rst
+}
+
+// RunTraceChecked simulates one trace under spec, converting a core
+// watchdog trip into an error (errors.Is(err, core.ErrStalled)) instead of
+// an infinite loop or panic. Repair stats are nil for the baseline.
+func RunTraceChecked(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, error) {
 	var scheme repair.Scheme
 	if spec.Scheme != nil {
 		scheme = spec.Scheme()
@@ -62,18 +122,22 @@ func RunTraceFull(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats) {
 	unit := bpu.NewUnit(spec.Tage, scheme)
 	unit.Oracle = spec.Oracle
 	c := core.New(spec.Core, unit, tr)
-	st := c.Run()
-	if scheme != nil {
-		return st, scheme.Stats()
+	st, err := c.RunChecked()
+	if err != nil {
+		return st, nil, err
 	}
-	return st, nil
+	if scheme != nil {
+		return st, scheme.Stats(), nil
+	}
+	return st, nil, nil
 }
 
 // Options controls suite-level experiment execution.
 type Options struct {
-	Insts  int  // instructions per workload
-	Quick  bool // use the reduced suite
-	Warmup int  // leading retired instructions excluded from statistics
+	Insts   int  // instructions per workload
+	Quick   bool // use the reduced suite
+	Warmup  int  // leading retired instructions excluded from statistics
+	Workers int  // concurrent workload runs; <= 0 means GOMAXPROCS
 }
 
 // DefaultOptions balances fidelity and single-CPU runtime.
@@ -87,13 +151,25 @@ func (o Options) suite() []workloads.Workload {
 	return workloads.Suite()
 }
 
+// workers resolves the worker-pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // RunSuite simulates every workload under spec, reusing pre-generated traces
-// when provided via cache (keyed by workload name).
+// when provided via cache (keyed by workload name and length). Failures
+// panic; sweeps wanting graceful degradation use Runner.Run.
 func RunSuite(o Options, spec Spec, cache *TraceCache) []metrics.Result {
 	ws := o.suite()
 	out := make([]metrics.Result, len(ws))
 	for i, w := range ws {
-		tr := cache.Get(w, o.Insts)
+		tr, err := cache.Get(w, o.Insts)
+		if err != nil {
+			panic(err)
+		}
 		st := RunTrace(tr, spec)
 		out[i] = metrics.Result{
 			Workload: w.Name,
@@ -106,28 +182,57 @@ func RunSuite(o Options, spec Spec, cache *TraceCache) []metrics.Result {
 	return out
 }
 
+// traceKey identifies one generated trace: workload × instruction count.
+type traceKey struct {
+	name  string
+	insts int
+}
+
+// traceEntry is one cache slot; once ensures a trace is generated exactly
+// one time even when several workers request it concurrently (the others
+// block in Do until generation finishes).
+type traceEntry struct {
+	once sync.Once
+	tr   []trace.Inst
+	err  error
+}
+
 // TraceCache memoizes generated workload traces across configurations so a
-// sweep generates each workload once.
+// sweep generates each (workload, insts) pair once. It is safe for
+// concurrent use by multiple goroutines.
 type TraceCache struct {
-	insts  int
-	traces map[string][]trace.Inst
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
 }
 
 // NewTraceCache returns an empty cache.
 func NewTraceCache() *TraceCache {
-	return &TraceCache{traces: map[string][]trace.Inst{}}
+	return &TraceCache{entries: map[traceKey]*traceEntry{}}
 }
 
-// Get returns the trace for w at n instructions, generating on first use.
-func (tc *TraceCache) Get(w workloads.Workload, n int) []trace.Inst {
-	if tc.insts != n {
-		tc.traces = map[string][]trace.Inst{}
-		tc.insts = n
+// Get returns the trace for w at n instructions, generating and validating
+// it on first use. Concurrent callers for the same key share one
+// generation; different keys generate in parallel.
+func (tc *TraceCache) Get(w workloads.Workload, n int) ([]trace.Inst, error) {
+	k := traceKey{name: w.Name, insts: n}
+	tc.mu.Lock()
+	e, ok := tc.entries[k]
+	if !ok {
+		e = &traceEntry{}
+		tc.entries[k] = e
 	}
-	if tr, ok := tc.traces[w.Name]; ok {
-		return tr
-	}
-	tr := w.Generate(n)
-	tc.traces[w.Name] = tr
-	return tr
+	tc.mu.Unlock()
+	e.once.Do(func() {
+		if n <= 0 {
+			e.err = fmt.Errorf("trace length: got %d instructions, want > 0", n)
+			return
+		}
+		tr := w.Generate(n)
+		if err := trace.Validate(tr); err != nil {
+			e.err = err
+			return
+		}
+		e.tr = tr
+	})
+	return e.tr, e.err
 }

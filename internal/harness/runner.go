@@ -3,25 +3,40 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
+	"sync"
 
 	"localbp/internal/metrics"
 	"localbp/internal/repair"
+	"localbp/internal/workloads"
 )
 
 // Outcome is one workload × configuration result with repair statistics.
+// Err is non-nil when the run failed (panic, watchdog trip, validation);
+// the Result then carries only the workload identity with zero metrics.
 type Outcome struct {
 	Result metrics.Result
 	Repair repair.Stats // zero value for the TAGE-only baseline
+	Err    *RunError    // nil on success
 }
 
 // Runner executes specs over the workload suite, memoizing traces and
 // results so that experiments sharing a configuration (most figures share
 // the baseline and perfect-repair runs) pay for it once per process.
+//
+// Workload runs within one spec fan out across Opts.Workers goroutines
+// (GOMAXPROCS by default); results are assembled in workload-index order,
+// so a suite run is byte-identical regardless of worker count. A run that
+// panics or trips the core watchdog yields an Outcome with a structured
+// RunError while the rest of the suite completes.
 type Runner struct {
 	Opts  Options
 	Log   io.Writer // optional progress sink
 	cache *TraceCache
-	memo  map[string][]Outcome
+
+	mu       sync.Mutex
+	memo     map[string][]Outcome
+	failures []*RunError
 }
 
 // NewRunner builds a runner with the given options.
@@ -35,33 +50,133 @@ func (r *Runner) logf(format string, args ...any) {
 	}
 }
 
+// Failures returns every RunError recorded so far, in spec-execution order
+// and workload order within a spec. Memoized (repeated) spec runs do not
+// re-record their failures.
+func (r *Runner) Failures() []*RunError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*RunError, len(r.failures))
+	copy(out, r.failures)
+	return out
+}
+
 // Run executes spec over the whole suite (memoized by spec label).
+//
+// The spec is validated first: a malformed configuration fails every
+// outcome with a PhaseValidate RunError before any simulation starts.
+// Individual workload failures (panics, stalls) are isolated into their
+// Outcome.Err; the remaining workloads still produce results.
 func (r *Runner) Run(spec Spec) []Outcome {
+	r.mu.Lock()
 	if out, ok := r.memo[spec.Label]; ok {
+		r.mu.Unlock()
 		return out
 	}
-	r.logf("running %-28s (%d workloads × %d insts)\n", spec.Label, len(r.Opts.suite()), r.Opts.Insts)
+	r.mu.Unlock()
+
 	if r.Opts.Warmup > 0 {
 		spec.Core.WarmupInsts = uint64(r.Opts.Warmup)
 	}
 	ws := r.Opts.suite()
 	out := make([]Outcome, len(ws))
-	for i, w := range ws {
-		tr := r.cache.Get(w, r.Opts.Insts)
-		st, rst := RunTraceFull(tr, spec)
-		out[i].Result = metrics.Result{
-			Workload: w.Name,
-			Category: w.Category.String(),
-			IPC:      st.IPC(),
-			MPKI:     st.MPKI(),
-			TageMPKI: st.TageMPKI(),
+
+	if err := spec.Validate(); err != nil {
+		for i, w := range ws {
+			out[i].Result = metrics.Result{Workload: w.Name, Category: w.Category.String()}
+			out[i].Err = &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseValidate, Err: err}
 		}
-		if rst != nil {
-			out[i].Repair = *rst
+		r.finish(spec, out)
+		return out
+	}
+
+	workers := min(r.Opts.workers(), len(ws))
+	r.logf("running %-28s (%d workloads × %d insts, %d workers)\n",
+		spec.Label, len(ws), r.Opts.Insts, workers)
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = r.runOne(ws[i], spec)
+			}
+		}()
+	}
+	for i := range ws {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	r.finish(spec, out)
+	return out
+}
+
+// runOne executes one workload under spec, converting panics and watchdog
+// errors into a structured Outcome.Err. The deferred recover is the
+// isolation boundary: a panicking predictor, scheme or core kills only this
+// outcome, not the sweep.
+func (r *Runner) runOne(w workloads.Workload, spec Spec) (o Outcome) {
+	o.Result = metrics.Result{Workload: w.Name, Category: w.Category.String()}
+	phase := PhaseGenerate
+	defer func() {
+		if p := recover(); p != nil {
+			o.Repair = repair.Stats{}
+			o.Result = metrics.Result{Workload: w.Name, Category: w.Category.String()}
+			o.Err = &RunError{
+				Workload:  w.Name,
+				SpecLabel: spec.Label,
+				Phase:     phase,
+				Err:       fmt.Errorf("panic: %v", p),
+				Stack:     string(debug.Stack()),
+			}
+		}
+	}()
+
+	tr, err := r.cache.Get(w, r.Opts.Insts)
+	if err != nil {
+		o.Err = &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseGenerate, Err: err}
+		return o
+	}
+
+	phase = PhaseSimulate
+	if spec.preRun != nil {
+		spec.preRun(w.Name)
+	}
+	st, rst, err := RunTraceChecked(tr, spec)
+	if err != nil {
+		o.Err = &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseSimulate, Err: err}
+		return o
+	}
+	o.Result.IPC = st.IPC()
+	o.Result.MPKI = st.MPKI()
+	o.Result.TageMPKI = st.TageMPKI()
+	if rst != nil {
+		o.Repair = *rst
+	}
+	return o
+}
+
+// finish memoizes the outcomes, records failures in workload order, and
+// logs the N/M degradation summary when any run failed.
+func (r *Runner) finish(spec Spec, out []Outcome) {
+	var failed []*RunError
+	for i := range out {
+		if out[i].Err != nil {
+			failed = append(failed, out[i].Err)
 		}
 	}
+	r.mu.Lock()
 	r.memo[spec.Label] = out
-	return out
+	r.failures = append(r.failures, failed...)
+	r.mu.Unlock()
+	if len(failed) > 0 {
+		r.logf("spec %s: %d/%d workload runs FAILED (first: %v)\n",
+			spec.Label, len(failed), len(out), failed[0].Err)
+	}
 }
 
 // Results extracts the metrics side of Run.

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// maxValidateErrors caps how many per-instruction violations Validate
+// collects before giving up; a corrupt trace repeats the same defect
+// millions of times and one screenful is enough to diagnose it.
+const maxValidateErrors = 8
+
+// Validate scans a dynamic instruction stream and returns a field-level
+// error for every malformed instruction found (joined, capped at
+// maxValidateErrors), or nil. The harness validates every generated or
+// loaded trace before simulation so a generator or decoder bug fails fast
+// with the offending index and field instead of corrupting a sweep.
+func Validate(tr []Inst) error {
+	if len(tr) == 0 {
+		return errors.New("trace: empty instruction stream")
+	}
+	var errs []error
+	bad := func(i int, field string, got any, want string) {
+		errs = append(errs, fmt.Errorf("trace: inst %d %s: got %v, want %s", i, field, got, want))
+	}
+	for i := range tr {
+		in := &tr[i]
+		if in.Class >= numClasses {
+			bad(i, "Class", uint8(in.Class), fmt.Sprintf("< %d", uint8(numClasses)))
+		}
+		if in.Dst >= NumRegs {
+			bad(i, "Dst", in.Dst, fmt.Sprintf("< %d", NumRegs))
+		}
+		if in.Src1 >= NumRegs {
+			bad(i, "Src1", in.Src1, fmt.Sprintf("< %d", NumRegs))
+		}
+		if in.Src2 >= NumRegs {
+			bad(i, "Src2", in.Src2, fmt.Sprintf("< %d", NumRegs))
+		}
+		if in.Class == ClassBranch && in.PC == 0 {
+			bad(i, "PC", in.PC, "non-zero for a branch (predictors index by PC)")
+		}
+		if len(errs) >= maxValidateErrors {
+			errs = append(errs, fmt.Errorf("trace: stopping after %d errors (%d instructions unchecked)",
+				maxValidateErrors, len(tr)-i-1))
+			break
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func validStream(n int) []Inst {
+	tr := make([]Inst, n)
+	for i := range tr {
+		tr[i] = Inst{PC: 0x400 + uint64(4*i), Class: ClassALU, Dst: 1, Src1: 2, Src2: 3}
+	}
+	return tr
+}
+
+func TestValidateAcceptsCleanStream(t *testing.T) {
+	if err := Validate(validStream(100)); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	if err := Validate(nil); err == nil {
+		t.Fatal("empty stream validated")
+	}
+}
+
+func TestValidateFieldErrors(t *testing.T) {
+	tr := validStream(10)
+	tr[3].Class = Class(200)
+	tr[5].Dst = NumRegs
+	tr[7] = Inst{PC: 0, Class: ClassBranch}
+	err := Validate(tr)
+	if err == nil {
+		t.Fatal("corrupt stream validated")
+	}
+	for _, want := range []string{"inst 3 Class", "inst 5 Dst", "inst 7 PC"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not report %q: %v", want, err)
+		}
+	}
+}
+
+func TestValidateCapsErrorCount(t *testing.T) {
+	tr := validStream(1000)
+	for i := range tr {
+		tr[i].Src1 = NumRegs // every instruction is bad
+	}
+	err := Validate(tr)
+	if err == nil {
+		t.Fatal("corrupt stream validated")
+	}
+	if n := strings.Count(err.Error(), "\n"); n > maxValidateErrors+1 {
+		t.Fatalf("error not capped: %d lines", n)
+	}
+	if !strings.Contains(err.Error(), "stopping after") {
+		t.Fatalf("capped error does not say it stopped early: %v", err)
+	}
+}
