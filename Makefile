@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race
+.PHONY: check build vet test race audit fuzz-smoke
 
 # check is the CI gate: static analysis plus the full suite under the race
 # detector (the parallel sweep runner is on by default).
@@ -17,3 +17,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# audit reruns the full suite with the integrity auditor and golden-model
+# oracle forced on for every simulation (LBP_AUDIT=1): every retirement is
+# cross-checked against the in-order model and every invariant is live.
+audit:
+	LBP_AUDIT=1 $(GO) test ./...
+
+# fuzz-smoke gives each native fuzz target a short budget; failures minimize
+# into testdata/fuzz corpora as usual.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzLoopPredictor -fuzztime=10s ./internal/bpu/loop
+	$(GO) test -fuzz=FuzzTAGE -fuzztime=10s ./internal/bpu/tage

@@ -37,7 +37,11 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		if out := e.Run(r); out == "" {
+		out, err := e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out == "" {
 			b.Fatal("experiment produced no output")
 		}
 	}

@@ -5,10 +5,19 @@
 // Usage:
 //
 //	lbpsim [-insts N] [-workload name] [-scheme name] [-loop 64|128|256] [-tage 8|9|57]
+//	       [-audit] [-oracle] [-inject kinds] [-inject-seed N] [-inject-every N]
 //
 // Scheme names: baseline, perfect, oracle, none, retire, snapshot, backward,
 // forward, forward-coalesce, multistage, multistage-split, limited2,
 // limited4, limited8.
+//
+// -audit enables the integrity auditor (read-only invariant checks; the
+// first violation aborts with a structured report). -oracle cross-checks
+// every retirement against a timing-free in-order execution of the trace
+// (the golden-model differential oracle; distinct from `-scheme oracle`,
+// the never-mispredicting local predictor). -inject enables deterministic
+// fault injection: a comma-separated kind list or "all" (see
+// internal/faultinject).
 package main
 
 import (
@@ -16,10 +25,12 @@ import (
 	"fmt"
 	"os"
 
+	"localbp/internal/audit"
 	"localbp/internal/bpu"
 	"localbp/internal/bpu/loop"
 	"localbp/internal/bpu/tage"
 	"localbp/internal/core"
+	"localbp/internal/faultinject"
 	"localbp/internal/repair"
 	"localbp/internal/trace"
 	"localbp/internal/workloads"
@@ -33,6 +44,11 @@ func main() {
 	tageKB := flag.Int("tage", 8, "TAGE baseline size class (8, 9 or 57)")
 	maxCycles := flag.Int64("maxcycles", 0, "abort if the run exceeds this many cycles (0 = automatic budget)")
 	stallCycles := flag.Int64("stall", 0, "abort if no instruction retires for this many cycles (0 = default deadman)")
+	auditOn := flag.Bool("audit", false, "enable the integrity auditor (read-only invariant checks)")
+	oracleOn := flag.Bool("oracle", false, "cross-check retirement against the golden in-order model")
+	inject := flag.String("inject", "", "fault kinds to inject: comma-separated list or \"all\" (empty = off)")
+	injectSeed := flag.Uint64("inject-seed", 1, "fault-injection target-selection seed")
+	injectEvery := flag.Uint64("inject-every", 997, "fire a fault on every Nth eligible event per kind")
 	flag.Parse()
 
 	w, ok := workloads.ByName(*name)
@@ -117,14 +133,50 @@ func main() {
 		}
 	}
 
+	// Assemble the decorator stack exactly as harness.RunTraceChecked does:
+	// fault injection innermost, auditor outermost, so the auditor observes
+	// the faulted scheme the way the pipeline does.
+	var inj *faultinject.Injector
+	if *inject != "" {
+		kinds, err := faultinject.ParseKinds(*inject)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
+			os.Exit(2)
+		}
+		icfg := faultinject.Config{Seed: *injectSeed, Every: *injectEvery, Kinds: kinds}
+		built, err := faultinject.New(icfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
+			os.Exit(2)
+		}
+		inj = built
+		if scheme != nil {
+			scheme = inj.Wrap(scheme)
+		}
+	}
+	var aud *audit.Auditor
+	if *auditOn {
+		aud = audit.New()
+		ccfg.Audit = aud
+		if scheme != nil {
+			scheme = audit.WrapScheme(scheme, aud)
+		}
+	}
+
 	fmt.Printf("workload: %s (%s), %d instructions\n", w.Name, w.Category, *insts)
 	tr := w.Generate(*insts)
 	if err := trace.Validate(tr); err != nil {
 		fmt.Fprintf(os.Stderr, "lbpsim: generated trace invalid:\n%v\n", err)
 		os.Exit(1)
 	}
+	if *oracleOn {
+		ccfg.Golden = audit.NewGolden(tr)
+	}
 	unit := bpu.NewUnit(tcfg, scheme)
 	unit.Oracle = oracle
+	if inj != nil {
+		inj.AttachTAGE(unit.Tage)
+	}
 	c := core.New(ccfg, unit, tr)
 	st, err := c.RunChecked()
 	if err != nil {
@@ -156,6 +208,24 @@ func main() {
 	acc, l1m, l2m, llcm := c.Mem().Stats()
 	fmt.Printf("\nmemory:\n  accesses %d, L1 miss %.1f%%, L2 miss %.1f%%, LLC miss %.1f%%\n",
 		acc, pct(l1m, acc), pct(l2m, l1m), pct(llcm, l2m))
+
+	if aud != nil {
+		fmt.Printf("\nintegrity: %d checks, 0 violations", aud.Checks())
+		if *oracleOn {
+			fmt.Printf(", golden model verified %d retirements", st.Insts)
+		}
+		fmt.Println()
+	}
+	if inj != nil {
+		fmt.Printf("\nfault injection: %d faults injected", inj.Total())
+		counts := inj.Counts()
+		for _, k := range faultinject.Kinds() {
+			if n := counts[k.String()]; n > 0 {
+				fmt.Printf("  %s=%d", k, n)
+			}
+		}
+		fmt.Println()
+	}
 }
 
 func pct(a, b uint64) float64 {

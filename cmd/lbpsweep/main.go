@@ -37,6 +37,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced workload subset")
 	workers := flag.Int("workers", 0, "concurrent workload runs per configuration (0 = GOMAXPROCS)")
 	checkpoint := flag.String("checkpoint", "", "JSON file for checkpoint/resume of completed experiments")
+	auditSample := flag.Int("audit-sample", 0, "run the integrity auditor + golden model on every Nth workload per spec (0 = off)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	verbose := flag.Bool("v", false, "print per-configuration progress")
 	flag.Parse()
@@ -69,7 +70,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := harness.Options{Insts: *insts, Quick: *quick, Warmup: *warmup, Workers: *workers}
+	opts := harness.Options{Insts: *insts, Quick: *quick, Warmup: *warmup, Workers: *workers,
+		AuditSample: *auditSample}
 
 	var ck *harness.Checkpoint
 	if *checkpoint != "" {
@@ -110,8 +112,15 @@ func main() {
 			}
 		}
 		t0 := time.Now()
-		out := e.Run(r)
+		out, err := e.Run(r)
 		secs := time.Since(t0).Seconds()
+		if err != nil {
+			// Aggregation failed (for example mismatched result sets after a
+			// partial sweep): skip this artifact, keep the sweep going.
+			fmt.Fprintf(os.Stderr, "lbpsweep: %s failed: %v\n", e.ID, err)
+			exitCode = 1
+			continue
+		}
 
 		// Graceful degradation: failures recorded during this experiment
 		// (its own fresh specs; memoized specs reported where first run)

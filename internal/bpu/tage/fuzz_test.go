@@ -1,0 +1,105 @@
+package tage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// maxFuzzPushes bounds the speculative-history pushes between checkpoint
+// save and restore. The restore contract only guarantees exactness while the
+// circular history buffer still holds the pre-checkpoint bits (fewer than
+// histBufBits pushes in flight); real cores are bounded far below that by
+// the ROB, and the fuzz harness mirrors the bound.
+const maxFuzzPushes = 64
+
+// FuzzTAGE feeds random branch streams through predict / speculative-history
+// / train operations and asserts the checkpoint contract: after
+// RestoreCheckpoint, re-saving yields a state identical to the original
+// checkpoint (folded registers, history position and length, path history),
+// and no sequence panics.
+func FuzzTAGE(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x82, 0x43, 0xc4, 0x25, 0xa6, 0x67, 0xe8})
+	seq := make([]byte, 96)
+	for i := range seq {
+		seq[i] = byte(i*53 + 7)
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := New(KB8())
+		// Warm the history so checkpoints are taken mid-stream, not from
+		// the reset state.
+		for i := 0; i < 32; i++ {
+			var m Meta
+			pc := 0x400000 + uint64(i%7)*64
+			p.Predict(pc, &m)
+			p.SpecUpdateHistory(pc, i%3 == 0)
+			p.Update(&m, i%3 == 0, false)
+		}
+
+		var ck Checkpoint
+		p.SaveCheckpoint(&ck)
+		pushes := 0
+		for _, b := range data {
+			if pushes >= maxFuzzPushes {
+				break
+			}
+			pc := 0x400000 + uint64(b%16)*64
+			taken := b&0x80 != 0
+			var m Meta
+			pred := p.Predict(pc, &m)
+			p.SpecUpdateHistory(pc, taken)
+			pushes++
+			if b&0x40 != 0 {
+				p.Update(&m, taken, pred != taken)
+			}
+		}
+		p.RestoreCheckpoint(&ck)
+
+		var ck2 Checkpoint
+		p.SaveCheckpoint(&ck2)
+		if !reflect.DeepEqual(ck, ck2) {
+			t.Fatalf("checkpoint round-trip diverged:\nsaved    %+v\nrestored %+v", ck, ck2)
+		}
+		var m Meta
+		p.Predict(0x400100, &m) // still functional
+	})
+}
+
+// TestTAGECheckpointRoundTripProperty is the deterministic property-test
+// counterpart of FuzzTAGE: seeded random streams of varying length, each
+// asserting save → run → restore → save reproduces the checkpoint exactly.
+func TestTAGECheckpointRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := New(KB8())
+	for trial := 0; trial < 100; trial++ {
+		var ck Checkpoint
+		p.SaveCheckpoint(&ck)
+		for i := 0; i < 1+rng.Intn(maxFuzzPushes); i++ {
+			pc := 0x400000 + uint64(rng.Intn(16))*64
+			taken := rng.Intn(2) == 0
+			var m Meta
+			pred := p.Predict(pc, &m)
+			p.SpecUpdateHistory(pc, taken)
+			if rng.Intn(2) == 0 {
+				p.Update(&m, taken, pred != taken)
+			}
+		}
+		p.RestoreCheckpoint(&ck)
+		var ck2 Checkpoint
+		p.SaveCheckpoint(&ck2)
+		if !reflect.DeepEqual(ck, ck2) {
+			t.Fatalf("trial %d: checkpoint round-trip diverged", trial)
+		}
+		// Advance the real stream between trials so checkpoints cover many
+		// history positions, including ring wrap-around.
+		for i := 0; i < rng.Intn(90); i++ {
+			pc := 0x400000 + uint64(rng.Intn(16))*64
+			var m Meta
+			p.Predict(pc, &m)
+			p.SpecUpdateHistory(pc, rng.Intn(2) == 0)
+		}
+	}
+}

@@ -83,7 +83,13 @@ func (u *Unit) oracleCovers(pc uint64) bool {
 	if !ok {
 		return false
 	}
-	info := lp.Predictor().PatternInfo(pc)
+	p := lp.Predictor()
+	if p == nil {
+		// Wrappers (audit, fault injection) advertise the method even when
+		// the wrapped scheme has no single primary predictor.
+		return false
+	}
+	info := p.PatternInfo(pc)
 	// Only branches with genuine local structure count as covered: the
 	// PT must have confirmed a repeating period at least once. Without
 	// the gate the oracle would also cover random branches that merely

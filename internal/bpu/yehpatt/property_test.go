@@ -1,0 +1,79 @@
+package yehpatt
+
+import (
+	"math/rand"
+	"testing"
+
+	"localbp/internal/bpu/loop"
+)
+
+// applyRandomOp drives one random LocalPredictor operation, mirroring the
+// loop package's fuzz decoding so both predictors face the same op mix.
+func applyRandomOp(p *Predictor, rng *rand.Rand) {
+	pc := 0x400000 + uint64(rng.Intn(16))*64
+	taken := rng.Intn(2) == 0
+	switch rng.Intn(8) {
+	case 0:
+		p.Predict(pc)
+	case 1:
+		p.PredictWithOffset(pc, uint16(rng.Intn(4)))
+	case 2:
+		p.SpecUpdate(pc, taken)
+	case 3:
+		p.ApplyOutcome(pc, taken)
+	case 4:
+		if st, ok := p.LookupState(pc); ok {
+			p.RestoreState(pc, st)
+		}
+	case 5:
+		p.Retire(pc, taken, rng.Intn(2) == 0)
+	case 6:
+		p.Invalidate(pc)
+	case 7:
+		p.RepairStart()
+		p.RepairBitSet(pc)
+	}
+}
+
+// TestYehPattSnapshotRoundTripProperty asserts the whole-table
+// snapshot/restore contract for the generic local predictor: after
+// RestoreBHT(snap), DiffBHT(snap) is zero under any op sequence. This is the
+// same property the repair schemes rely on when they treat the Yeh-Patt
+// pattern as opaque checkpointed state (the paper's extensibility claim).
+func TestYehPattSnapshotRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		p := New(Default128())
+		for i := 0; i < rng.Intn(300); i++ {
+			applyRandomOp(p, rng)
+		}
+		snap := p.SnapshotBHT(nil)
+		for i := 0; i < 1+rng.Intn(200); i++ {
+			applyRandomOp(p, rng)
+		}
+		p.RestoreBHT(snap)
+		if d := p.DiffBHT(snap); d != 0 {
+			t.Fatalf("trial %d: %d entries differ after restore", trial, d)
+		}
+	}
+}
+
+// TestYehPattSnapshotGeometryMismatchPanics pins the mismatched-geometry
+// panic contract, matching the loop predictor's behaviour.
+func TestYehPattSnapshotGeometryMismatchPanics(t *testing.T) {
+	p := New(Default128())
+	short := make([]loop.FullState, p.Entries()-1)
+	for name, fn := range map[string]func(){
+		"RestoreBHT": func() { p.RestoreBHT(short) },
+		"DiffBHT":    func() { p.DiffBHT(short) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted a mismatched snapshot", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

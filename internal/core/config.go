@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"localbp/internal/audit"
 	"localbp/internal/bpu/btb"
 	"localbp/internal/mem"
 	"localbp/internal/trace"
@@ -68,6 +69,19 @@ type Config struct {
 	// pass without retiring a single instruction, the run aborts with a
 	// StallError and a pipeline dump. 0 selects DefaultStallCycles.
 	StallCycles int64
+
+	// Audit, when non-nil, enables the integrity auditor's core-loop checks
+	// (retire monotonicity, ROB age ordering, occupancy bounds, resolution
+	// consistency) in addition to the always-on structural invariants. The
+	// first violation aborts the run with its *audit.IntegrityError. All
+	// checks are read-only: reported statistics are bit-identical to an
+	// unaudited run.
+	Audit *audit.Auditor
+
+	// Golden, when non-nil, cross-checks every real-path retirement (and the
+	// final instruction/branch counts) against the timing-free in-order
+	// golden model. Divergence aborts the run at the offending retire.
+	Golden *audit.Golden
 }
 
 // DefaultStallCycles is the no-retire deadman threshold when

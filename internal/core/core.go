@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"localbp/internal/audit"
 	"localbp/internal/bpu"
 	"localbp/internal/bpu/btb"
 	"localbp/internal/mem"
@@ -132,6 +133,13 @@ type Core struct {
 	warmStats Stats
 	warmDone  bool
 
+	// Integrity state: the first invariant violation aborts the run with a
+	// structured error instead of a panic. lastRetSeq backs the audit-gated
+	// retire-monotonicity check.
+	integrity  *audit.IntegrityError
+	lastRetSeq uint64
+	hasRetired bool
+
 	dbgFQEmpty, dbgROBFull, dbgNotReady int64
 	dbgDoneSum                          int64
 	dbgDoneN                            int64
@@ -206,8 +214,10 @@ func (c *Core) fqFlush() {
 }
 
 // Run simulates until the program is exhausted and the pipeline drains,
-// returning the statistics. If the forward-progress watchdog fires it
-// panics with the *StallError; fault-tolerant callers should use RunChecked.
+// returning the statistics. If the forward-progress watchdog fires (or an
+// integrity invariant is violated) it panics with the structured
+// *StallError / *audit.IntegrityError; fault-tolerant callers should use
+// RunChecked.
 func (c *Core) Run() Stats {
 	st, err := c.RunChecked()
 	if err != nil {
@@ -236,6 +246,20 @@ func (c *Core) RunChecked() (Stats, error) {
 		c.stepRetire()
 		c.stepAlloc()
 		c.stepFetch()
+		if a := c.cfg.Audit; a != nil {
+			if a.ScanDue(c.cycle) {
+				c.auditScan()
+			}
+			// Scheme-level checks (OBQ scans, checkpoint liveness, resync
+			// equality) report into the same auditor; abort on the first.
+			if e := a.First(); e != nil {
+				c.fail(e)
+			}
+		}
+		if c.integrity != nil {
+			c.stats.Cycles = c.cycle
+			return c.stats, c.integrity
+		}
 		c.cycle++
 		if !c.warmDone && c.cfg.WarmupInsts > 0 && c.stats.Insts >= c.cfg.WarmupInsts {
 			c.warmDone = true
@@ -263,10 +287,89 @@ func (c *Core) RunChecked() (Stats, error) {
 		}
 	}
 	c.stats.Cycles = c.cycle
+	if g := c.cfg.Golden; g != nil {
+		// The raw (pre-warmup-subtraction) counters are what the golden
+		// model accumulated alongside.
+		if e := g.Finish(c.stats.Insts, c.stats.Branches, c.cycle); e != nil {
+			c.fail(e)
+		}
+	}
+	if a := c.cfg.Audit; a != nil {
+		if e := a.First(); e != nil {
+			c.fail(e)
+		}
+	}
+	if c.integrity != nil {
+		return c.stats, c.integrity
+	}
 	if c.warmDone {
 		return c.stats.sub(c.warmStats), nil
 	}
 	return c.stats, nil
+}
+
+// fail latches the first integrity violation; RunChecked aborts on it at the
+// end of the current cycle.
+func (c *Core) fail(e *audit.IntegrityError) {
+	if c.integrity == nil {
+		c.integrity = e
+	}
+}
+
+// violation builds an IntegrityError with the standard pipeline dump,
+// records it in the auditor when one is attached, and latches it.
+func (c *Core) violation(pc uint64, invariant, detail string) {
+	dump := detail + "\n" + c.dumpState()
+	if a := c.cfg.Audit; a != nil {
+		c.fail(a.Report(c.cycle, pc, invariant, dump))
+		return
+	}
+	c.fail(&audit.IntegrityError{Cycle: c.cycle, PC: pc, Invariant: invariant, Dump: dump})
+}
+
+// auditScan is the periodic structural pass over core state: occupancy
+// bounds, ROB age ordering, and the resolution-heap/ROB cross-check. It is
+// strictly read-only.
+func (c *Core) auditScan() {
+	a := c.cfg.Audit
+	n := c.robLen()
+	a.Note(3 + 2*n + len(c.resolutions))
+	if n < 0 || n > len(c.rob) || c.fqCount < 0 || c.fqCount > len(c.fetchQ) {
+		c.violation(0, audit.InvOccupancy, fmt.Sprintf(
+			"  rob occupancy %d/%d, alloc-queue occupancy %d/%d", n, len(c.rob), c.fqCount, len(c.fetchQ)))
+		return
+	}
+	if len(c.ldBuf.free) != c.cfg.LoadBuffer || len(c.stBuf.free) != c.cfg.StoreBuffer {
+		c.violation(0, audit.InvOccupancy, fmt.Sprintf(
+			"  load buffer %d/%d slots, store buffer %d/%d slots",
+			len(c.ldBuf.free), c.cfg.LoadBuffer, len(c.stBuf.free), c.cfg.StoreBuffer))
+		return
+	}
+	unresolved := 0
+	var prevSeq uint64
+	for abs := c.robHead; abs < c.robTail; abs++ {
+		e := c.robAt(abs)
+		if abs > c.robHead && e.seq <= prevSeq {
+			c.violation(0, audit.InvROBAgeOrder, fmt.Sprintf(
+				"  rob entry at %d (seq=%d) not younger than predecessor (seq=%d)", abs, e.seq, prevSeq))
+			return
+		}
+		prevSeq = e.seq
+		if e.isBranch && !e.wrongPath && !e.resolved {
+			unresolved++
+		}
+	}
+	pending := 0
+	for i := range c.resolutions {
+		if !c.resolutions[i].rec.Squashed {
+			pending++
+		}
+	}
+	if pending != unresolved {
+		c.violation(0, audit.InvResolutions, fmt.Sprintf(
+			"  %d live pending resolutions vs %d unresolved real-path branches in the ROB",
+			pending, unresolved))
+	}
 }
 
 // stepResolutions processes branch executions due this cycle, oldest first.
@@ -329,11 +432,42 @@ func (c *Core) stepRetire() {
 		if e.wrongPath {
 			// Wrong-path instructions are always flushed before
 			// reaching the head; seeing one here is a model bug.
-			panic("core: wrong-path instruction at ROB head")
+			c.violation(0, audit.InvWrongPathHead, fmt.Sprintf(
+				"  rob head entry seq=%d class=%v is wrong-path", e.seq, e.class))
+			return
 		}
 		if e.done > c.cycle || (e.isBranch && !e.resolved) {
 			return
 		}
+		if a := c.cfg.Audit; a != nil {
+			a.Note(2)
+			if c.hasRetired && e.seq <= c.lastRetSeq {
+				c.violation(0, audit.InvRetireMonotonic, fmt.Sprintf(
+					"  retiring seq=%d after seq=%d", e.seq, c.lastRetSeq))
+				return
+			}
+			if e.isBranch && e.rec == nil {
+				c.violation(0, audit.InvBranchRecord, fmt.Sprintf(
+					"  retiring branch seq=%d carries no prediction record", e.seq))
+				return
+			}
+		}
+		if g := c.cfg.Golden; g != nil {
+			// Read the branch record before Retire recycles it.
+			var pc uint64
+			var taken bool
+			if e.isBranch && e.rec != nil {
+				pc, taken = e.rec.Ctx.PC, e.rec.Ctx.ActualTaken
+			}
+			if err := g.Retire(e.streamPos, e.class, e.isBranch, pc, taken, c.cycle); err != nil {
+				c.fail(err)
+				if a := c.cfg.Audit; a != nil {
+					a.Report(err.Cycle, err.PC, err.Invariant, err.Dump)
+				}
+				return
+			}
+		}
+		c.lastRetSeq, c.hasRetired = e.seq, true
 		if e.isBranch {
 			c.stats.Branches++
 			if e.rec != nil {
@@ -392,7 +526,9 @@ func (c *Core) stepAlloc() {
 		c.dbgDoneN++
 		if e.isBranch {
 			if s.rec == nil {
-				panic("core: branch without prediction record")
+				c.violation(s.inst.PC, audit.InvBranchRecord, fmt.Sprintf(
+					"  allocating branch seq=%d pc=%#x without a prediction record", e.seq, s.inst.PC))
+				return
 			}
 			if c.unit.AllocStage(s.rec, c.cycle) {
 				c.handleEarlyResteer(e, s.rec)

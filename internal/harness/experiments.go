@@ -12,18 +12,21 @@ import (
 	"localbp/internal/workloads"
 )
 
-// Experiment regenerates one paper artifact (figure or table) as text.
+// Experiment regenerates one paper artifact (figure or table) as text. Run
+// returns an error instead of panicking when aggregation fails (for example
+// mismatched result sets after a partially-failed sweep); the sweep then
+// skips the artifact and keeps going.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(r *Runner) string
+	Run   func(r *Runner) (string, error)
 }
 
 // Experiments returns every reproducible artifact in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"table1", "Table 1: evaluated benchmark categories", func(r *Runner) string { return Table1() }},
-		{"table2", "Table 2: simulator parameters", func(r *Runner) string { return Table2() }},
+		{"table1", "Table 1: evaluated benchmark categories", func(r *Runner) (string, error) { return Table1(), nil }},
+		{"table2", "Table 2: simulator parameters", func(r *Runner) (string, error) { return Table2(), nil }},
 		{"fig4", "Figure 4: MPKI opportunity and the cost of not repairing", Fig4},
 		{"fig7a", "Figure 7a: MPKI reduction of CBPw-Loop{64,128,256} with perfect repair", Fig7a},
 		{"fig7b", "Figure 7b: IPC gain of CBPw-Loop{64,128,256} with perfect repair", Fig7b},
@@ -89,18 +92,24 @@ func Table2() string {
 
 // Fig4 shows the per-category MPKI reduction of a never-mispredicting local
 // predictor (the opportunity) against a local predictor with no repair.
-func Fig4(r *Runner) string {
+func Fig4(r *Runner) (string, error) {
 	base := r.Results(BaselineSpec())
 	oracle := r.Results(OracleSpec(loop.Loop128()))
 	none := r.Results(NoRepairSpec(loop.Loop128()))
-	cats, opp := byCategoryMPKI(base, oracle)
-	_, lost := byCategoryMPKI(base, none)
+	cats, opp, err := byCategoryMPKI(base, oracle)
+	if err != nil {
+		return "", err
+	}
+	_, lost, err := byCategoryMPKI(base, none)
+	if err != nil {
+		return "", err
+	}
 	t := &metrics.Table{Header: []string{"Category", "MPKI redn (ideal local)", "MPKI redn (no repair)"}}
 	for i, c := range cats {
 		t.AddRow(c, metrics.Pct(opp[i]), metrics.Pct(lost[i]))
 	}
 	t.AddRow("ALL", metrics.Pct(mpkiReduction(base, oracle)), metrics.Pct(mpkiReduction(base, none)))
-	return t.String()
+	return t.String(), nil
 }
 
 // loopConfigs are the three Table 2 local predictor sizes.
@@ -109,14 +118,17 @@ func loopConfigs() []loop.Config {
 }
 
 // Fig7a: per-category MPKI reduction with perfect repair across sizes.
-func Fig7a(r *Runner) string {
+func Fig7a(r *Runner) (string, error) {
 	base := r.Results(BaselineSpec())
 	t := &metrics.Table{Header: []string{"Category", "Loop64", "Loop128", "Loop256"}}
 	rows := map[string][]string{}
 	var cats []string
 	for _, cfg := range loopConfigs() {
 		res := r.Results(PerfectSpec(cfg))
-		cs, red := byCategoryMPKI(base, res)
+		cs, red, err := byCategoryMPKI(base, res)
+		if err != nil {
+			return "", err
+		}
 		cats = cs
 		for i, c := range cs {
 			rows[c] = append(rows[c], metrics.Pct(red[i]))
@@ -126,18 +138,21 @@ func Fig7a(r *Runner) string {
 	for _, c := range append(cats, "ALL") {
 		t.AddRow(append([]string{c}, rows[c]...)...)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // Fig7b: per-category IPC gain with perfect repair across sizes.
-func Fig7b(r *Runner) string {
+func Fig7b(r *Runner) (string, error) {
 	base := r.Results(BaselineSpec())
 	t := &metrics.Table{Header: []string{"Category", "Loop64", "Loop128", "Loop256"}}
 	rows := map[string][]string{}
 	var cats []string
 	for _, cfg := range loopConfigs() {
 		res := r.Results(PerfectSpec(cfg))
-		cs, gain := byCategoryIPC(base, res)
+		cs, gain, err := byCategoryIPC(base, res)
+		if err != nil {
+			return "", err
+		}
 		cats = cs
 		for i, c := range cs {
 			rows[c] = append(rows[c], metrics.Pct(gain[i]))
@@ -147,14 +162,17 @@ func Fig7b(r *Runner) string {
 	for _, c := range append(cats, "ALL") {
 		t.AddRow(append([]string{c}, rows[c]...)...)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // Fig7c: the per-workload IPC gain S-curve for Loop128 with named outliers.
-func Fig7c(r *Runner) string {
+func Fig7c(r *Runner) (string, error) {
 	base := r.Results(BaselineSpec())
 	perf := r.Results(PerfectSpec(loop.Loop128()))
-	pts := metrics.SCurve(base, perf)
+	pts, err := metrics.SCurve(base, perf)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "S-curve over %d workloads (sorted IPC gain, CBPw-Loop128 perfect repair)\n", len(pts))
 	n := len(pts)
@@ -170,12 +188,12 @@ func Fig7c(r *Runner) string {
 			fmt.Fprintf(&b, "  #%3d %-24s %+7.2f%%\n", i+1, p.Workload, p.GainPct)
 		}
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // Fig8: average and maximum BHT repairs required per misprediction,
 // from the perfect-repair oracle's restore diffs.
-func Fig8(r *Runner) string {
+func Fig8(r *Runner) (string, error) {
 	out := r.Run(PerfectSpec(loop.Loop128()))
 	type row struct {
 		name string
@@ -208,19 +226,28 @@ func Fig8(r *Runner) string {
 		}
 		fmt.Fprintf(&b, "  %-26s avg=%5.1f max=%3d\n", rw.name, rw.avg, rw.max)
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // Fig9: IPC of update-at-retire and no-repair, normalized to perfect repair.
-func Fig9(r *Runner) string {
+func Fig9(r *Runner) (string, error) {
 	base := r.Results(BaselineSpec())
 	perf := r.Results(PerfectSpec(loop.Loop128()))
 	retire := r.Results(RetireUpdateSpec(loop.Loop128()))
 	none := r.Results(NoRepairSpec(loop.Loop128()))
 	perfGain := ipcGain(base, perf)
-	cats, gr := byCategoryIPC(base, retire)
-	_, gn := byCategoryIPC(base, none)
-	_, gp := byCategoryIPC(base, perf)
+	cats, gr, err := byCategoryIPC(base, retire)
+	if err != nil {
+		return "", err
+	}
+	_, gn, err := byCategoryIPC(base, none)
+	if err != nil {
+		return "", err
+	}
+	_, gp, err := byCategoryIPC(base, perf)
+	if err != nil {
+		return "", err
+	}
 	t := &metrics.Table{Header: []string{"Category", "perfect dIPC", "retire dIPC", "no-repair dIPC"}}
 	for i, c := range cats {
 		t.AddRow(c, metrics.Pct(gp[i]), metrics.Pct(gr[i]), metrics.Pct(gn[i]))
@@ -229,7 +256,7 @@ func Fig9(r *Runner) string {
 	t.AddRow("% of perfect", "100%",
 		metrics.Pct(100*ipcGain(base, retire)/perfGain),
 		metrics.Pct(100*ipcGain(base, none)/perfGain))
-	return t.String()
+	return t.String(), nil
 }
 
 // normalizedRows renders spec rows as (MPKI redn, IPC gain, % of perfect).
@@ -251,7 +278,7 @@ func normalizedRows(r *Runner, specs []Spec) string {
 }
 
 // Fig10: prior techniques across storage/port configurations.
-func Fig10(r *Runner) string {
+func Fig10(r *Runner) (string, error) {
 	c := loop.Loop128()
 	specs := []Spec{
 		BackwardWalkSpec(c, 64, repair.Ports{CkptRead: 64, BHTWrite: 64}),
@@ -262,11 +289,11 @@ func Fig10(r *Runner) string {
 		SnapshotSpec(c, 32, repair.Ports{CkptRead: 8, BHTWrite: 8}),
 		SnapshotSpec(c, 16, repair.Ports{CkptRead: 8, BHTWrite: 8}),
 	}
-	return normalizedRows(r, specs)
+	return normalizedRows(r, specs), nil
 }
 
 // Fig11: forward walk across configurations, plus coalescing.
-func Fig11(r *Runner) string {
+func Fig11(r *Runner) (string, error) {
 	c := loop.Loop128()
 	specs := []Spec{
 		ForwardWalkSpec(c, 64, repair.Ports{CkptRead: 8, BHTWrite: 4}, false),
@@ -275,23 +302,23 @@ func Fig11(r *Runner) string {
 		ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, false),
 		ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, true),
 	}
-	return normalizedRows(r, specs)
+	return normalizedRows(r, specs), nil
 }
 
 // Fig12: multi-stage prediction with split BHT, shared vs split PT, compared
 // with forward walk.
-func Fig12(r *Runner) string {
+func Fig12(r *Runner) (string, error) {
 	c := loop.Loop128()
 	specs := []Spec{
 		ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, false),
 		MultiStageSpec(c, 32, true),
 		MultiStageSpec(c, 32, false),
 	}
-	return normalizedRows(r, specs)
+	return normalizedRows(r, specs), nil
 }
 
 // Fig13: limited-PC repair scaling over the number of repaired PCs.
-func Fig13(r *Runner) string {
+func Fig13(r *Runner) (string, error) {
 	c := loop.Loop128()
 	specs := []Spec{
 		LimitedPCSpec(c, 2, 2, false),
@@ -299,11 +326,11 @@ func Fig13(r *Runner) string {
 		LimitedPCSpec(c, 8, 4, false),
 		LimitedPCSpec(c, 4, 4, true), // the "mark invalid" ablation
 	}
-	return normalizedRows(r, specs)
+	return normalizedRows(r, specs), nil
 }
 
 // Table3: the summary of every technique, with storage.
-func Table3(r *Runner) string {
+func Table3(r *Runner) (string, error) {
 	c := loop.Loop128()
 	base := r.Results(BaselineSpec())
 	perf := r.Results(PerfectSpec(c))
@@ -340,12 +367,12 @@ func Table3(r *Runner) string {
 			metrics.Pct(100*g/perfGain), kb(e.spec.Scheme))
 	}
 	t.AddRow("perfect repair", metrics.Pct(mpkiReduction(base, perf)), metrics.Pct(perfGain), "100.0%", "NA")
-	return t.String()
+	return t.String(), nil
 }
 
 // Fig14a: iso-storage — TAGE grown to 9KB vs TAGE(7.1KB) + CBPw-Loop128 with
 // forward-walk repair.
-func Fig14a(r *Runner) string {
+func Fig14a(r *Runner) (string, error) {
 	base := r.Results(BaselineSpec())
 	t := &metrics.Table{Header: []string{"Configuration", "IPC gain vs TAGE-8KB"}}
 	iso := r.Results(Iso9KBSpec())
@@ -354,11 +381,11 @@ func Fig14a(r *Runner) string {
 	t.AddRow("TAGE scaled to 9KB", metrics.Pct(ipcGain(base, iso)))
 	t.AddRow("TAGE 7.1KB + Loop128 + forward walk", metrics.Pct(ipcGain(base, fwd)))
 	t.AddRow("TAGE 7.1KB + Loop128 + perfect repair", metrics.Pct(ipcGain(base, perf)))
-	return t.String()
+	return t.String(), nil
 }
 
 // Fig14b: CBPw-Loop on the 57KB TAGE baseline, across repair schemes.
-func Fig14b(r *Runner) string {
+func Fig14b(r *Runner) (string, error) {
 	c := loop.Loop128()
 	base57 := r.Results(Big57Spec("baseline", nil))
 	specs := []struct {
@@ -377,5 +404,5 @@ func Fig14b(r *Runner) string {
 		res := r.Results(Big57Spec(s.label, s.mk))
 		t.AddRow("tage57+"+s.label, metrics.Pct(mpkiReduction(base57, res)), metrics.Pct(ipcGain(base57, res)))
 	}
-	return t.String()
+	return t.String(), nil
 }

@@ -24,7 +24,7 @@ func YehPattSpec(label string, mk func(lp loop.LocalPredictor) repair.Scheme) Sp
 
 // Ext1 compares the loop predictor and the generic local predictor under
 // no repair, forward-walk repair and perfect repair.
-func Ext1(r *Runner) string {
+func Ext1(r *Runner) (string, error) {
 	base := r.Results(BaselineSpec())
 	p42 := repair.Ports{CkptRead: 4, BHTWrite: 2}
 
@@ -50,5 +50,5 @@ func Ext1(r *Runner) string {
 		res := r.Results(row.spec)
 		t.AddRow(row.label, metrics.Pct(mpkiReduction(base, res)), metrics.Pct(ipcGain(base, res)))
 	}
-	return t.String()
+	return t.String(), nil
 }

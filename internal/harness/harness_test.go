@@ -23,12 +23,15 @@ func TestRunTraceBaseline(t *testing.T) {
 func TestRunTraceFullReturnsRepairStats(t *testing.T) {
 	w := workloads.QuickSuite()[0]
 	tr := w.Generate(30_000)
-	_, rst := RunTraceFull(tr, PerfectSpec(loop.Loop128()))
+	_, rst, err := RunTraceFull(tr, PerfectSpec(loop.Loop128()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rst == nil {
 		t.Fatal("no repair stats from a scheme run")
 	}
-	if _, rst2 := RunTraceFull(tr, BaselineSpec()); rst2 != nil {
-		t.Fatal("baseline returned repair stats")
+	if _, rst2, err := RunTraceFull(tr, BaselineSpec()); err != nil || rst2 != nil {
+		t.Fatalf("baseline: err=%v repair stats=%v", err, rst2)
 	}
 }
 
@@ -169,7 +172,10 @@ func TestFig8Output(t *testing.T) {
 		t.Skip("integration test")
 	}
 	r := NewRunner(Options{Insts: 40_000, Quick: true})
-	out := Fig8(r)
+	out, err := Fig8(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "avg repairs/mispredict") {
 		t.Fatalf("Fig8 output malformed:\n%s", out)
 	}
@@ -180,7 +186,10 @@ func TestNormalizedRowsRenderBars(t *testing.T) {
 		t.Skip("integration test")
 	}
 	r := NewRunner(Options{Insts: 30_000, Quick: true})
-	out := Fig13(r)
+	out, err := Fig13(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "#") || !strings.Contains(out, "% of perfect") {
 		t.Fatalf("figure output lacks bars or headers:\n%s", out)
 	}

@@ -6,13 +6,16 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 
+	"localbp/internal/audit"
 	"localbp/internal/bpu"
 	"localbp/internal/bpu/loop"
 	"localbp/internal/bpu/tage"
 	"localbp/internal/core"
+	"localbp/internal/faultinject"
 	"localbp/internal/metrics"
 	"localbp/internal/repair"
 	"localbp/internal/trace"
@@ -30,6 +33,21 @@ type Spec struct {
 	Scheme SchemeMaker
 	Oracle bool
 	Core   core.Config
+
+	// Audit enables the integrity auditor: core-loop and scheme-level
+	// invariant checks whose first violation aborts the run with a
+	// structured audit.IntegrityError. All checks are read-only, so an
+	// audited run reports bit-identical statistics.
+	Audit bool
+	// Golden enables the differential oracle: every retirement is
+	// cross-checked against a timing-free in-order execution of the trace.
+	Golden bool
+	// AuditInterval overrides the auditor's structural-scan stride in
+	// cycles/events (0 selects audit.DefaultInterval).
+	AuditInterval int64
+	// Inject, when non-nil, wraps the scheme with deterministic fault
+	// injection (robustness testing; see internal/faultinject).
+	Inject *faultinject.Config
 
 	// preRun, when set, is invoked at the start of every workload run with
 	// the workload name. It exists for fault-injection tests (a hook that
@@ -57,6 +75,14 @@ func (s Spec) Validate() error {
 		if err := trialScheme(s.Scheme); err != nil {
 			errs = append(errs, err)
 		}
+	}
+	if s.Inject != nil {
+		if err := s.Inject.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if s.AuditInterval < 0 {
+		errs = append(errs, fmt.Errorf("spec: AuditInterval: got %d, want >= 0", s.AuditInterval))
 	}
 	return errors.Join(errs...)
 }
@@ -89,39 +115,79 @@ func PerfectSpec(cfg loop.Config) Spec {
 }
 
 // RunTrace simulates one prepared trace under spec and returns core stats.
+// Failures (watchdog, integrity) panic with their structured error;
+// fault-tolerant callers use RunTraceChecked.
 func RunTrace(tr []trace.Inst, spec Spec) core.Stats {
-	var scheme repair.Scheme
-	if spec.Scheme != nil {
-		scheme = spec.Scheme()
-	}
-	unit := bpu.NewUnit(spec.Tage, scheme)
-	unit.Oracle = spec.Oracle
-	c := core.New(spec.Core, unit, tr)
-	return c.Run()
-}
-
-// RunTraceFull simulates one trace and returns core stats plus the scheme's
-// repair stats (nil for the baseline). A watchdog trip panics; the parallel
-// runner uses RunTraceChecked instead.
-func RunTraceFull(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats) {
-	st, rst, err := RunTraceChecked(tr, spec)
+	st, _, err := RunTraceChecked(tr, spec)
 	if err != nil {
 		panic(err)
 	}
-	return st, rst
+	return st
 }
 
+// RunTraceFull simulates one trace and returns core stats plus the scheme's
+// repair stats (nil for the baseline). A failed run returns a structured
+// *RunError instead of panicking.
+func RunTraceFull(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, error) {
+	st, rst, err := RunTraceChecked(tr, spec)
+	if err != nil {
+		return st, rst, &RunError{SpecLabel: spec.Label, Phase: PhaseSimulate, Err: err}
+	}
+	return st, rst, nil
+}
+
+// forceAudit reports whether LBP_AUDIT=1 is set: the `make audit` hook that
+// runs the whole tier-1 suite with the auditor and golden model enabled.
+// Fault-injection runs are exempt — their state is corrupted on purpose, so
+// auditing them would (correctly) flag the injected damage and defeat the
+// graceful-degradation tests.
+var forceAudit = sync.OnceValue(func() bool { return os.Getenv("LBP_AUDIT") == "1" })
+
 // RunTraceChecked simulates one trace under spec, converting a core
-// watchdog trip into an error (errors.Is(err, core.ErrStalled)) instead of
-// an infinite loop or panic. Repair stats are nil for the baseline.
+// watchdog trip or integrity violation into an error (match with
+// errors.Is against core.ErrStalled / audit.ErrIntegrity) instead of an
+// infinite loop or panic. Repair stats are nil for the baseline.
 func RunTraceChecked(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, error) {
+	if forceAudit() && spec.Inject == nil {
+		spec.Audit, spec.Golden = true, true
+	}
 	var scheme repair.Scheme
 	if spec.Scheme != nil {
 		scheme = spec.Scheme()
 	}
+	var inj *faultinject.Injector
+	if spec.Inject != nil {
+		var err error
+		inj, err = faultinject.New(*spec.Inject)
+		if err != nil {
+			return core.Stats{}, nil, err
+		}
+		if scheme != nil {
+			scheme = inj.Wrap(scheme)
+		}
+	}
+	cfg := spec.Core
+	if spec.Audit {
+		aud := audit.New()
+		aud.Interval = spec.AuditInterval
+		cfg.Audit = aud
+		if scheme != nil {
+			// Injection innermost, audit outermost: the auditor observes
+			// the faulted scheme exactly as the pipeline does.
+			scheme = audit.WrapScheme(scheme, aud)
+		}
+	}
+	if spec.Golden && cfg.Golden == nil {
+		// A caller-provided golden model (spec.Core.Golden) wins: tests use
+		// it to feed the oracle a deliberately divergent program.
+		cfg.Golden = audit.NewGolden(tr)
+	}
 	unit := bpu.NewUnit(spec.Tage, scheme)
 	unit.Oracle = spec.Oracle
-	c := core.New(spec.Core, unit, tr)
+	if inj != nil {
+		inj.AttachTAGE(unit.Tage)
+	}
+	c := core.New(cfg, unit, tr)
 	st, err := c.RunChecked()
 	if err != nil {
 		return st, nil, err
@@ -138,6 +204,13 @@ type Options struct {
 	Quick   bool // use the reduced suite
 	Warmup  int  // leading retired instructions excluded from statistics
 	Workers int  // concurrent workload runs; <= 0 means GOMAXPROCS
+
+	// AuditSample enables the integrity auditor and golden model on every
+	// Nth workload (by suite index) of every spec: a deterministic,
+	// cheap sample of fully-verified runs inside an ordinary sweep. 0
+	// disables sampling; 1 audits everything. Audited runs report
+	// bit-identical statistics, so memoized results are unaffected.
+	AuditSample int
 }
 
 // DefaultOptions balances fidelity and single-CPU runtime.
@@ -160,26 +233,31 @@ func (o Options) workers() int {
 }
 
 // RunSuite simulates every workload under spec, reusing pre-generated traces
-// when provided via cache (keyed by workload name and length). Failures
-// panic; sweeps wanting graceful degradation use Runner.Run.
-func RunSuite(o Options, spec Spec, cache *TraceCache) []metrics.Result {
+// when provided via cache (keyed by workload name and length). A failed
+// workload yields a zero-metric Result and a structured *RunError; the rest
+// of the suite still runs, and the joined errors are returned alongside.
+// Sweeps wanting memoization and parallelism use Runner.Run.
+func RunSuite(o Options, spec Spec, cache *TraceCache) ([]metrics.Result, error) {
 	ws := o.suite()
 	out := make([]metrics.Result, len(ws))
+	var errs []error
 	for i, w := range ws {
+		out[i] = metrics.Result{Workload: w.Name, Category: w.Category.String()}
 		tr, err := cache.Get(w, o.Insts)
 		if err != nil {
-			panic(err)
+			errs = append(errs, &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseGenerate, Err: err})
+			continue
 		}
-		st := RunTrace(tr, spec)
-		out[i] = metrics.Result{
-			Workload: w.Name,
-			Category: w.Category.String(),
-			IPC:      st.IPC(),
-			MPKI:     st.MPKI(),
-			TageMPKI: st.TageMPKI(),
+		st, _, err := RunTraceChecked(tr, spec)
+		if err != nil {
+			errs = append(errs, &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseSimulate, Err: err})
+			continue
 		}
+		out[i].IPC = st.IPC()
+		out[i].MPKI = st.MPKI()
+		out[i].TageMPKI = st.TageMPKI()
 	}
-	return out
+	return out, errors.Join(errs...)
 }
 
 // traceKey identifies one generated trace: workload × instruction count.

@@ -101,7 +101,7 @@ func (r *Runner) Run(spec Spec) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = r.runOne(ws[i], spec)
+				out[i] = r.runOne(i, ws[i], spec)
 			}
 		}()
 	}
@@ -118,8 +118,13 @@ func (r *Runner) Run(spec Spec) []Outcome {
 // runOne executes one workload under spec, converting panics and watchdog
 // errors into a structured Outcome.Err. The deferred recover is the
 // isolation boundary: a panicking predictor, scheme or core kills only this
-// outcome, not the sweep.
-func (r *Runner) runOne(w workloads.Workload, spec Spec) (o Outcome) {
+// outcome, not the sweep. Workload index i drives the deterministic audit
+// sample (Options.AuditSample): audited runs report bit-identical metrics,
+// so sampling composes with memoization.
+func (r *Runner) runOne(i int, w workloads.Workload, spec Spec) (o Outcome) {
+	if n := r.Opts.AuditSample; n > 0 && i%n == 0 {
+		spec.Audit, spec.Golden = true, true
+	}
 	o.Result = metrics.Result{Workload: w.Name, Category: w.Category.String()}
 	phase := PhaseGenerate
 	defer func() {
@@ -218,13 +223,13 @@ func ipcGain(base, exp []metrics.Result) float64 {
 }
 
 // byCategoryMPKI computes per-category MPKI reductions.
-func byCategoryMPKI(base, exp []metrics.Result) ([]string, []float64) {
+func byCategoryMPKI(base, exp []metrics.Result) ([]string, []float64, error) {
 	return metrics.ByCategory(base, exp,
 		func(r metrics.Result) float64 { return r.MPKI }, metrics.MeanReduction)
 }
 
 // byCategoryIPC computes per-category geomean IPC gains.
-func byCategoryIPC(base, exp []metrics.Result) ([]string, []float64) {
+func byCategoryIPC(base, exp []metrics.Result) ([]string, []float64, error) {
 	return metrics.ByCategory(base, exp,
 		func(r metrics.Result) float64 { return r.IPC },
 		func(a, b []float64) float64 { return metrics.IPCGainPct(a, b) })

@@ -89,9 +89,12 @@ type Series struct {
 
 // ByCategory groups results and applies fn to (baseline, experiment) value
 // slices per category, returning category → value in category name order.
-func ByCategory(base, exp []Result, value func(Result) float64, agg func(a, b []float64) float64) ([]string, []float64) {
+// Mismatched result-set lengths (a partially-failed sweep compared against a
+// complete one) return an error instead of panicking.
+func ByCategory(base, exp []Result, value func(Result) float64, agg func(a, b []float64) float64) ([]string, []float64, error) {
 	if len(base) != len(exp) {
-		panic("metrics: mismatched result sets")
+		return nil, nil, fmt.Errorf("metrics: mismatched result sets (%d baseline vs %d experiment)",
+			len(base), len(exp))
 	}
 	order := []string{}
 	seen := map[string]bool{}
@@ -110,7 +113,7 @@ func ByCategory(base, exp []Result, value func(Result) float64, agg func(a, b []
 	for i, c := range order {
 		out[i] = agg(groupsA[c], groupsB[c])
 	}
-	return order, out
+	return order, out, nil
 }
 
 // SCurve returns per-workload IPC gains (exp/base - 1, percent) sorted
@@ -120,10 +123,12 @@ type SCurvePoint struct {
 	GainPct  float64
 }
 
-// SCurve computes the sorted per-workload gain curve.
-func SCurve(base, exp []Result) []SCurvePoint {
+// SCurve computes the sorted per-workload gain curve. Mismatched result-set
+// lengths return an error instead of panicking.
+func SCurve(base, exp []Result) ([]SCurvePoint, error) {
 	if len(base) != len(exp) {
-		panic("metrics: mismatched result sets")
+		return nil, fmt.Errorf("metrics: mismatched result sets (%d baseline vs %d experiment)",
+			len(base), len(exp))
 	}
 	pts := make([]SCurvePoint, len(base))
 	for i := range base {
@@ -134,7 +139,7 @@ func SCurve(base, exp []Result) []SCurvePoint {
 		pts[i] = SCurvePoint{Workload: base[i].Workload, GainPct: g}
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i].GainPct < pts[j].GainPct })
-	return pts
+	return pts, nil
 }
 
 // Table renders a simple aligned text table.

@@ -79,7 +79,10 @@ func rs(cat string, ipc, mpki float64) Result {
 func TestByCategory(t *testing.T) {
 	base := []Result{rs("A", 1, 10), rs("A", 1, 20), rs("B", 1, 10)}
 	exp := []Result{rs("A", 1, 5), rs("A", 1, 10), rs("B", 1, 10)}
-	cats, vals := ByCategory(base, exp, func(r Result) float64 { return r.MPKI }, MeanReduction)
+	cats, vals, err := ByCategory(base, exp, func(r Result) float64 { return r.MPKI }, MeanReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cats) != 2 || cats[0] != "A" || cats[1] != "B" {
 		t.Fatalf("categories %v", cats)
 	}
@@ -88,13 +91,17 @@ func TestByCategory(t *testing.T) {
 	}
 }
 
-func TestByCategoryPanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for mismatched result sets")
-		}
-	}()
-	ByCategory([]Result{rs("A", 1, 1)}, nil, func(r Result) float64 { return r.IPC }, MeanReduction)
+func TestByCategoryErrorsOnMismatch(t *testing.T) {
+	_, _, err := ByCategory([]Result{rs("A", 1, 1)}, nil, func(r Result) float64 { return r.IPC }, MeanReduction)
+	if err == nil {
+		t.Fatal("no error for mismatched result sets")
+	}
+	if !strings.Contains(err.Error(), "mismatched result sets") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if _, err := SCurve([]Result{rs("A", 1, 1)}, nil); err == nil {
+		t.Fatal("SCurve: no error for mismatched result sets")
+	}
 }
 
 func TestSCurveSorted(t *testing.T) {
@@ -108,7 +115,10 @@ func TestSCurveSorted(t *testing.T) {
 		{Workload: "y", IPC: 0.9},
 		{Workload: "z", IPC: 1.05},
 	}
-	pts := SCurve(base, exp)
+	pts, err := SCurve(base, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pts[0].Workload != "y" || pts[2].Workload != "x" {
 		t.Fatalf("S-curve order wrong: %+v", pts)
 	}

@@ -45,6 +45,14 @@ func New(capacity int, coalesce bool) *Queue {
 // Cap returns the queue capacity.
 func (q *Queue) Cap() int { return len(q.buf) }
 
+// Bounds returns the absolute ids delimiting the live window: head is the
+// oldest live entry, tail one past the youngest. Read-only introspection for
+// the integrity auditor.
+func (q *Queue) Bounds() (head, tail int64) { return q.head, q.tail }
+
+// Coalescing reports whether consecutive same-PC allocations share entries.
+func (q *Queue) Coalescing() bool { return q.coalesce }
+
 // Len returns the number of live entries.
 func (q *Queue) Len() int { return int(q.tail - q.head) }
 

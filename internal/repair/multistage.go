@@ -70,6 +70,10 @@ func (s *MultiStage) Name() string {
 	return fmt.Sprintf("multistage-split-bht-split-pt-%d", s.q.Cap())
 }
 
+// OBQ exposes the BHT-Defer history file (read-only introspection for the
+// integrity auditor's structural scans).
+func (s *MultiStage) OBQ() *obq.Queue { return s.q }
+
 // FetchPredict implements Scheme: BHT-TAGE answers at the prediction stage
 // unless its repair window is open.
 func (s *MultiStage) FetchPredict(pc uint64, cycle int64) loop.Prediction {

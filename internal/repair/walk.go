@@ -17,6 +17,10 @@ type walkBase struct {
 	ports Ports
 }
 
+// OBQ exposes the history file (read-only introspection for the integrity
+// auditor's structural scans).
+func (w *walkBase) OBQ() *obq.Queue { return w.q }
+
 func (w *walkBase) checkpoint(ctx *BranchCtx) {
 	if !ctx.HadState && !ctx.Allocated {
 		// Paper §5 "OBQ design": PCs that miss in the BHT are assigned
