@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race audit fuzz-smoke
+.PHONY: check build vet test race audit bench-json fuzz-smoke
 
 # check is the CI gate: static analysis plus the full suite under the race
 # detector (the parallel sweep runner is on by default).
@@ -9,8 +9,12 @@ check: vet race
 build:
 	$(GO) build ./...
 
+# vet also runs the observability allocation guard: the delta between an
+# obs-enabled and obs-disabled run must be a fixed setup cost, never
+# per-cycle or per-event allocations.
 vet:
 	$(GO) vet ./...
+	$(GO) test -run TestObsAllocGuard -count=1 .
 
 test:
 	$(GO) test ./...
@@ -23,6 +27,12 @@ race:
 # cross-checked against the in-order model and every invariant is live.
 audit:
 	LBP_AUDIT=1 $(GO) test ./...
+
+# bench-json regenerates the machine-readable throughput baseline
+# (BENCH_baseline.json): ns/op, ns/inst, ns/cycle, allocs/op and B/op for
+# the obs-disabled and obs-enabled core loop.
+bench-json:
+	$(GO) run ./cmd/lbpbench -out BENCH_baseline.json
 
 # fuzz-smoke gives each native fuzz target a short budget; failures minimize
 # into testdata/fuzz corpora as usual.

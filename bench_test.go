@@ -63,6 +63,7 @@ func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
 func BenchmarkFig14a(b *testing.B) { benchExperiment(b, "fig14a") }
 func BenchmarkFig14b(b *testing.B) { benchExperiment(b, "fig14b") }
 func BenchmarkExt1(b *testing.B)   { benchExperiment(b, "ext1") }
+func BenchmarkExt2(b *testing.B)   { benchExperiment(b, "ext2") }
 
 // BenchmarkSimulatorThroughput measures raw core model speed (instructions
 // per second) on a representative workload with the headline configuration.
@@ -86,6 +87,42 @@ func BenchmarkTAGEPredict(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.RunTrace(tr, spec)
 	}
+}
+
+// --- observability overhead (DESIGN.md §11) ---
+
+// benchCoreLoop drives the facade end-to-end over a fixed pre-generated
+// trace so the measurement is the simulator core loop plus whatever the
+// given options enable. ns/inst and ns/cycle normalize the headline number;
+// lbpbench serializes the same measurements into BENCH_baseline.json.
+func benchCoreLoop(b *testing.B, opts ...Option) {
+	w, _ := workloads.ByName("cloud-compression")
+	tr := w.Generate(120_000)
+	ref, err := SimulateTrace(tr, ForwardWalk(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateTrace(tr, ForwardWalk(), opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perOp/float64(len(tr)), "ns/inst")
+	b.ReportMetric(perOp/float64(ref.Cycles), "ns/cycle")
+}
+
+// BenchmarkCoreLoop is the obs-disabled reference: the hot loop pays only
+// nil checks for the observability layer.
+func BenchmarkCoreLoop(b *testing.B) { benchCoreLoop(b) }
+
+// BenchmarkCoreLoopObs carries every instrument: CPI stack, counter
+// registry, event tracer.
+func BenchmarkCoreLoopObs(b *testing.B) {
+	benchCoreLoop(b, WithCPIStack(), WithCounters(), WithEventTrace(4096))
 }
 
 // --- ablation benches (DESIGN.md §7) ---

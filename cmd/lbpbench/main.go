@@ -1,0 +1,131 @@
+// Command lbpbench measures end-to-end simulator throughput with
+// testing.Benchmark and writes a machine-readable baseline file. The
+// baseline records ns/op, ns per simulated instruction, ns per simulated
+// cycle, allocs/op and bytes/op for the obs-disabled and obs-enabled core
+// loop, so later changes can be checked against the ISSUE acceptance bar
+// (obs-disabled within ±2% ns/op and 0 extra allocs/op).
+//
+// Usage:
+//
+//	lbpbench [-out BENCH_baseline.json] [-insts N] [-workload NAME] [-scheme NAME]
+//
+// -insts, -workload, -scheme and -seed spell the same across all commands.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"localbp"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerInst   float64 `json:"ns_per_inst"`
+	NsPerCycle  float64 `json:"ns_per_cycle"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type baseline struct {
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Workload  string  `json:"workload"`
+	Scheme    string  `json:"scheme"`
+	Insts     int     `json:"insts"`
+	Cycles    int64   `json:"cycles"`
+	Entries   []entry `json:"entries"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_baseline.json", "write the baseline JSON to this file")
+	insts := flag.Int("insts", 120_000, "instructions simulated per benchmark op")
+	workload := flag.String("workload", "cloud-compression", "workload to benchmark")
+	schemeName := flag.String("scheme", "forward-coalesce", "repair scheme to benchmark")
+	seed := flag.Int64("seed", 0, "override the workload's trace-generation seed (0 = workload default)")
+	flag.Parse()
+
+	w, ok := localbp.Workload(*workload)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+	if *seed != 0 {
+		w.Seed = *seed
+	}
+	scheme, err := localbp.SchemeByName(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+	tr := w.Generate(*insts)
+
+	// One reference run pins the cycle count the ns/cycle metric divides by
+	// (the simulator is deterministic, so every op retires the same cycles).
+	ref, err := localbp.SimulateTrace(tr, scheme)
+	if err != nil {
+		fatal(err)
+	}
+
+	bench := func(name string, opts ...localbp.Option) entry {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := localbp.SimulateTrace(tr, scheme, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(r.NsPerOp())
+		e := entry{
+			Name:        name,
+			NsPerOp:     ns,
+			NsPerInst:   ns / float64(len(tr)),
+			NsPerCycle:  ns / float64(ref.Cycles),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Printf("%-16s %12.0f ns/op  %6.1f ns/inst  %6.1f ns/cycle  %6d allocs/op  %9d B/op\n",
+			name, e.NsPerOp, e.NsPerInst, e.NsPerCycle, e.AllocsPerOp, e.BytesPerOp)
+		return e
+	}
+
+	b := baseline{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Workload:  w.Name,
+		Scheme:    scheme.Label(),
+		Insts:     len(tr),
+		Cycles:    ref.Cycles,
+		Entries: []entry{
+			bench("core-loop"),
+			bench("core-loop-obs",
+				localbp.WithCPIStack(), localbp.WithCounters(), localbp.WithEventTrace(4096)),
+		},
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbpbench:", err)
+	os.Exit(1)
+}

@@ -1,15 +1,17 @@
 // Command lbpsim simulates one workload under one configuration and prints
 // detailed statistics: IPC, MPKI, override accuracy, repair activity, cache
-// behaviour.
+// behaviour — plus, on request, the run's CPI stack, the full counter
+// registry, and a structured event trace.
 //
 // Usage:
 //
-//	lbpsim [-insts N] [-workload name] [-scheme name] [-loop 64|128|256] [-tage 8|9|57]
+//	lbpsim [-insts N] [-workload name] [-scheme name] [-seed N]
+//	       [-loop 64|128|256] [-tage 8|9|57]
 //	       [-audit] [-oracle] [-inject kinds] [-inject-seed N] [-inject-every N]
+//	       [-cpistack] [-counters] [-trace-events file] [-trace-chrome file]
 //
-// Scheme names: baseline, perfect, oracle, none, retire, snapshot, backward,
-// forward, forward-coalesce, multistage, multistage-split, limited2,
-// limited4, limited8.
+// Scheme names come from the shared registry (internal/schemes); run with
+// an unknown name to list them.
 //
 // -audit enables the integrity auditor (read-only invariant checks; the
 // first violation aborts with a structured report). -oracle cross-checks
@@ -18,11 +20,19 @@
 // the never-mispredicting local predictor). -inject enables deterministic
 // fault injection: a comma-separated kind list or "all" (see
 // internal/faultinject).
+//
+// -cpistack attributes every core cycle to one CPI-stack bucket and prints
+// the breakdown (the attribution is audited: buckets must sum to total
+// cycles). -counters prints the full counter-registry snapshot.
+// -trace-events writes the retained trace events as JSONL; -trace-chrome
+// writes them in Chrome trace_event format (load in chrome://tracing or
+// Perfetto). -trace-cap bounds the retained-event ring.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"localbp/internal/audit"
@@ -31,7 +41,9 @@ import (
 	"localbp/internal/bpu/tage"
 	"localbp/internal/core"
 	"localbp/internal/faultinject"
+	"localbp/internal/obs"
 	"localbp/internal/repair"
+	"localbp/internal/schemes"
 	"localbp/internal/trace"
 	"localbp/internal/workloads"
 )
@@ -39,7 +51,8 @@ import (
 func main() {
 	insts := flag.Int("insts", 500_000, "instructions to simulate")
 	name := flag.String("workload", "cloud-compression", "workload name (see lbptrace -list)")
-	schemeName := flag.String("scheme", "forward", "configuration to simulate")
+	schemeName := flag.String("scheme", "forward", "scheme to simulate (see internal/schemes)")
+	seed := flag.Int64("seed", 0, "override the workload's trace-generation seed (0 = workload default)")
 	loopSize := flag.Int("loop", 128, "CBPw-Loop entries (64, 128 or 256)")
 	tageKB := flag.Int("tage", 8, "TAGE baseline size class (8, 9 or 57)")
 	maxCycles := flag.Int64("maxcycles", 0, "abort if the run exceeds this many cycles (0 = automatic budget)")
@@ -49,6 +62,11 @@ func main() {
 	inject := flag.String("inject", "", "fault kinds to inject: comma-separated list or \"all\" (empty = off)")
 	injectSeed := flag.Uint64("inject-seed", 1, "fault-injection target-selection seed")
 	injectEvery := flag.Uint64("inject-every", 997, "fire a fault on every Nth eligible event per kind")
+	cpistack := flag.Bool("cpistack", false, "attribute every cycle to a CPI-stack bucket and print the breakdown")
+	counters := flag.Bool("counters", false, "print the counter-registry snapshot")
+	traceEvents := flag.String("trace-events", "", "write retained trace events as JSONL to this file")
+	traceChrome := flag.String("trace-chrome", "", "write retained trace events in Chrome trace_event format to this file")
+	traceCap := flag.Int("trace-cap", 65536, "event-tracer ring capacity (retained events)")
 	flag.Parse()
 
 	w, ok := workloads.ByName(*name)
@@ -83,41 +101,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	var scheme repair.Scheme
-	oracle := false
-	p42 := repair.Ports{CkptRead: 4, BHTWrite: 2}
-	p44 := repair.Ports{CkptRead: 4, BHTWrite: 4}
-	switch *schemeName {
-	case "baseline":
-	case "perfect":
-		scheme = repair.NewPerfect(lcfg)
-	case "oracle":
-		scheme = repair.NewPerfect(lcfg)
-		oracle = true
-	case "none":
-		scheme = repair.NewNone(lcfg)
-	case "retire":
-		scheme = repair.NewRetireUpdate(lcfg)
-	case "snapshot":
-		scheme = repair.NewSnapshot(lcfg, 32, repair.Ports{CkptRead: 8, BHTWrite: 8})
-	case "backward":
-		scheme = repair.NewBackwardWalk(lcfg, 32, p44)
-	case "forward":
-		scheme = repair.NewForwardWalk(lcfg, 32, p42, false)
-	case "forward-coalesce":
-		scheme = repair.NewForwardWalk(lcfg, 32, p42, true)
-	case "multistage":
-		scheme = repair.NewMultiStage(lcfg, 32, true)
-	case "multistage-split":
-		scheme = repair.NewMultiStage(lcfg, 32, false)
-	case "limited2":
-		scheme = repair.NewLimitedPC(lcfg, 2, 2, false)
-	case "limited4":
-		scheme = repair.NewLimitedPC(lcfg, 4, 4, false)
-	case "limited8":
-		scheme = repair.NewLimitedPC(lcfg, 8, 4, false)
-	default:
-		fmt.Fprintf(os.Stderr, "lbpsim: unknown scheme %q\n", *schemeName)
+	// Resolve the scheme through the shared registry: one name → construction
+	// mapping for lbpsim, lbpsweep and the localbp facade.
+	scheme, def, err := schemes.Build(*schemeName, func(p *schemes.Params) { p.Loop = lcfg })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsim: %v\nschemes:\n%s", err, schemes.Usage())
 		os.Exit(2)
 	}
 
@@ -130,6 +118,31 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbpsim: invalid configuration:\n%v\n", err)
 			os.Exit(2)
+		}
+	}
+
+	// Observability: build the requested hooks and register the raw scheme
+	// before any decorator wraps it (wrappers forward behaviour, not
+	// registration).
+	var hooks *obs.Hooks
+	if *cpistack || *counters || *traceEvents != "" || *traceChrome != "" {
+		hooks = &obs.Hooks{}
+		if *cpistack {
+			hooks.CPI = obs.NewCPIStack()
+		}
+		if *counters {
+			hooks.Reg = obs.NewRegistry()
+		}
+		if *traceEvents != "" || *traceChrome != "" {
+			if *traceCap <= 0 {
+				fmt.Fprintln(os.Stderr, "lbpsim: -trace-cap must be > 0")
+				os.Exit(2)
+			}
+			hooks.Tracer = obs.NewTracer(*traceCap)
+		}
+		ccfg.Obs = hooks
+		if scheme != nil {
+			repair.AttachObs(scheme, hooks.Reg, hooks.Tracer)
 		}
 	}
 
@@ -164,6 +177,9 @@ func main() {
 	}
 
 	fmt.Printf("workload: %s (%s), %d instructions\n", w.Name, w.Category, *insts)
+	if *seed != 0 {
+		w.Seed = *seed
+	}
 	tr := w.Generate(*insts)
 	if err := trace.Validate(tr); err != nil {
 		fmt.Fprintf(os.Stderr, "lbpsim: generated trace invalid:\n%v\n", err)
@@ -173,7 +189,7 @@ func main() {
 		ccfg.Golden = audit.NewGolden(tr)
 	}
 	unit := bpu.NewUnit(tcfg, scheme)
-	unit.Oracle = oracle
+	unit.Oracle = def.Oracle
 	if inj != nil {
 		inj.AttachTAGE(unit.Tage)
 	}
@@ -209,6 +225,37 @@ func main() {
 	fmt.Printf("\nmemory:\n  accesses %d, L1 miss %.1f%%, L2 miss %.1f%%, LLC miss %.1f%%\n",
 		acc, pct(l1m, acc), pct(l2m, l1m), pct(llcm, l2m))
 
+	if hooks != nil {
+		if hooks.CPI != nil {
+			fmt.Printf("\nCPI stack (every cycle attributed; audited):\n%s", hooks.CPI)
+		}
+		if hooks.Reg != nil {
+			fmt.Printf("\ncounters:\n%s", obs.FormatSnapshot(hooks.Reg.Snapshot()))
+			for _, h := range hooks.Reg.Histograms() {
+				fmt.Printf("\n%s\n", h)
+			}
+		}
+		if hooks.Tracer != nil {
+			labels := map[string]string{
+				"workload": w.Name,
+				"scheme":   *schemeName,
+				"insts":    fmt.Sprint(*insts),
+			}
+			if err := writeTrace(*traceEvents, func(f io.Writer) error {
+				return hooks.Tracer.WriteJSONL(f, labels)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
+				os.Exit(1)
+			}
+			if err := writeTrace(*traceChrome, hooks.Tracer.WriteChromeTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\ntrace: %d events emitted, %d retained\n",
+				hooks.Tracer.Total(), len(hooks.Tracer.Events()))
+		}
+	}
+
 	if aud != nil {
 		fmt.Printf("\nintegrity: %d checks, 0 violations", aud.Checks())
 		if *oracleOn {
@@ -226,6 +273,26 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// writeTrace writes one trace artifact; an empty path is a no-op.
+func writeTrace(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func pct(a, b uint64) float64 {

@@ -3,18 +3,31 @@
 // Usage:
 //
 //	lbpsweep [-insts N] [-quick] [-workers N] [-checkpoint file] [-list] [experiment ids...]
+//	lbpsweep -cpistack [-scheme name] [-insts N] [-quick]
+//	lbpsweep -trace-events file -workload name [-scheme name] [-insts N] [-seed N]
 //
-// Without arguments it runs every experiment (table1 … fig14b) in paper
-// order; results for configurations shared between experiments are computed
-// once, and workload runs within a configuration fan out across -workers
-// goroutines (GOMAXPROCS by default; results are deterministic in the
-// worker count). With -quick the reduced, category-balanced workload subset
-// is used.
+// Without arguments it runs every experiment (table1 … fig14b, ext*) in
+// paper order; results for configurations shared between experiments are
+// computed once, and workload runs within a configuration fan out across
+// -workers goroutines (GOMAXPROCS by default; results are deterministic in
+// the worker count). With -quick the reduced, category-balanced workload
+// subset is used.
 //
 // With -checkpoint, completed experiment outputs are flushed to the given
 // JSON file after each experiment; rerunning the same sweep (same -insts /
 // -warmup / -quick) skips completed experiments and replays their stored
 // output, so an interrupted sweep resumes instead of restarting.
+//
+// Observability modes:
+//
+//   - -cpistack prints a CPI stack (cycle-accounting breakdown) for one
+//     representative workload per category under -scheme (default the
+//     paper's forward-coalesce). Attribution is audited: every cycle lands
+//     in exactly one bucket and the buckets must sum to total cycles.
+//   - -trace-events runs -workload under -scheme with the structured event
+//     tracer and writes the retained events as JSONL.
+//   - -pprof DIR profiles the process: cpu.pprof and heap.pprof plus a
+//     runtime-metrics dump (runtime/metrics) land in DIR.
 //
 // A workload run that panics or stops making forward progress is isolated
 // into a structured failure: the sweep completes, the affected experiment
@@ -25,13 +38,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"localbp/internal/harness"
+	"localbp/internal/obs"
+	"localbp/internal/trace"
+	"localbp/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code: deferred cleanups (profile flushes) must
+// execute before the process exits, so nothing below calls os.Exit.
+func run() int {
 	insts := flag.Int("insts", 300_000, "instructions simulated per workload")
 	warmup := flag.Int("warmup", 0, "leading retired instructions excluded from statistics")
 	quick := flag.Bool("quick", false, "use the reduced workload subset")
@@ -40,13 +64,49 @@ func main() {
 	auditSample := flag.Int("audit-sample", 0, "run the integrity auditor + golden model on every Nth workload per spec (0 = off)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	verbose := flag.Bool("v", false, "print per-configuration progress")
+	schemeName := flag.String("scheme", "forward-coalesce", "scheme for -cpistack / -trace-events (see internal/schemes)")
+	workload := flag.String("workload", "", "workload for -trace-events")
+	seed := flag.Int64("seed", 0, "override the workload's trace-generation seed for -trace-events (0 = workload default)")
+	cpistack := flag.Bool("cpistack", false, "print the per-category CPI-stack table instead of running experiments")
+	traceEvents := flag.String("trace-events", "", "write one run's structured events as JSONL to this file (requires -workload)")
+	pprofDir := flag.String("pprof", "", "write cpu.pprof, heap.pprof and a runtime-metrics dump to this directory")
 	flag.Parse()
 
 	if *list {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+
+	if *pprofDir != "" {
+		stop, err := startProfiles(*pprofDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+			return 2
+		}
+		defer stop()
+	}
+
+	opts := harness.Options{Insts: *insts, Quick: *quick, Warmup: *warmup, Workers: *workers,
+		AuditSample: *auditSample}
+
+	if *cpistack {
+		out, err := harness.CPIStackTable(opts, *schemeName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+			return 2
+		}
+		fmt.Printf("CPI stacks, %d instructions per workload, scheme %s:\n%s", *insts, *schemeName, out)
+		return 0
+	}
+
+	if *traceEvents != "" {
+		if err := traceOneRun(opts, *workload, *schemeName, *seed, *traceEvents); err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+			return 2
+		}
+		return 0
 	}
 
 	ids := flag.Args()
@@ -67,18 +127,15 @@ func main() {
 	if len(unknown) > 0 {
 		fmt.Fprintf(os.Stderr, "lbpsweep: unknown experiment ids: %s (use -list)\n",
 			strings.Join(unknown, ", "))
-		os.Exit(2)
+		return 2
 	}
-
-	opts := harness.Options{Insts: *insts, Quick: *quick, Warmup: *warmup, Workers: *workers,
-		AuditSample: *auditSample}
 
 	var ck *harness.Checkpoint
 	if *checkpoint != "" {
 		loaded, err := harness.LoadCheckpoint(*checkpoint)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		ck = loaded
 		if ck == nil {
@@ -87,7 +144,7 @@ func main() {
 			fmt.Fprintf(os.Stderr,
 				"lbpsweep: checkpoint %s was written with -insts %d -warmup %d -quick %v; rerun with those flags or delete it\n",
 				*checkpoint, ck.Insts, ck.Warmup, ck.Quick)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -144,11 +201,120 @@ func main() {
 			ck.Record(id, harness.ExperimentOutcome{Output: out, Seconds: secs})
 			if err := ck.Save(*checkpoint); err != nil {
 				fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
-				os.Exit(2)
+				return 2
 			}
 		}
 	}
-	os.Exit(exitCode)
+	return exitCode
+}
+
+// traceOneRun simulates one workload under one scheme with the event tracer
+// attached and writes the retained events as JSONL.
+func traceOneRun(o harness.Options, workload, schemeName string, seed int64, path string) error {
+	if workload == "" {
+		return fmt.Errorf("-trace-events requires -workload (see lbptrace -list)")
+	}
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	if seed != 0 {
+		w.Seed = seed
+	}
+	spec, err := harness.SpecFor(schemeName)
+	if err != nil {
+		return err
+	}
+	var tracer *obs.Tracer
+	spec.Obs = &harness.ObsSpec{TraceCap: 1 << 16, Done: func(h *obs.Hooks) { tracer = h.Tracer }}
+	tr := w.Generate(o.Insts)
+	if err := trace.Validate(tr); err != nil {
+		return err
+	}
+	st, _, err := harness.RunTraceChecked(tr, spec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	labels := map[string]string{
+		"workload": w.Name,
+		"scheme":   schemeName,
+		"insts":    fmt.Sprint(o.Insts),
+	}
+	if err := tracer.WriteJSONL(f, labels); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%s × %s: %d cycles, IPC %.3f, MPKI %.3f\n",
+		w.Name, schemeName, st.Cycles, st.IPC(), st.MPKI())
+	fmt.Printf("wrote %s (%d events emitted, %d retained)\n",
+		path, tracer.Total(), len(tracer.Events()))
+	return nil
+}
+
+// startProfiles begins CPU profiling into dir and returns the stop hook
+// that also captures a heap profile and a runtime/metrics dump.
+func startProfiles(dir string) (func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpu.Close()
+
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err == nil {
+			runtime.GC() // up-to-date allocation statistics
+			pprof.WriteHeapProfile(heap)
+			heap.Close()
+		}
+
+		if f, err := os.Create(filepath.Join(dir, "runtime-metrics.txt")); err == nil {
+			writeRuntimeMetrics(f)
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "lbpsweep: profiles written to %s\n", dir)
+	}, nil
+}
+
+// writeRuntimeMetrics dumps every runtime/metrics sample in name-sorted
+// order (the package returns descriptions pre-sorted by name).
+func writeRuntimeMetrics(f *os.File) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(f, "%-60s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(f, "%-60s %g\n", s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var n uint64
+			for _, c := range h.Counts {
+				n += c
+			}
+			fmt.Fprintf(f, "%-60s histogram, %d samples\n", s.Name, n)
+		}
+	}
 }
 
 // firstLine truncates multi-line error text (stall dumps, panic stacks) for

@@ -6,8 +6,12 @@
 //	lbptrace -list                          # list the 202-workload suite
 //	lbptrace -workload NAME [-insts N]      # summarize a workload
 //	lbptrace -workload NAME -sites          # print its branch-site inventory
-//	lbptrace -workload NAME -o trace.lbp    # save the binary trace
-//	lbptrace -i trace.lbp                   # summarize a saved trace
+//	lbptrace -workload NAME -out trace.lbp  # save the binary trace
+//	lbptrace -in trace.lbp                  # summarize a saved trace
+//
+// -insts, -workload, -scheme and -seed spell the same across lbpsim,
+// lbpsweep and lbptrace; the old -o/-i spellings still work with a
+// deprecation note.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"localbp/internal/cliflags"
 	"localbp/internal/trace"
 	"localbp/internal/workloads"
 )
@@ -23,9 +28,12 @@ func main() {
 	list := flag.Bool("list", false, "list all suite workloads")
 	name := flag.String("workload", "", "workload to generate")
 	insts := flag.Int("insts", 300_000, "instructions to generate")
+	seed := flag.Int64("seed", 0, "override the workload's trace-generation seed (0 = workload default)")
 	sites := flag.Bool("sites", false, "print the branch-site inventory")
-	out := flag.String("o", "", "write the binary trace to this file")
-	in := flag.String("i", "", "read and summarize a binary trace file")
+	out := flag.String("out", "", "write the binary trace to this file")
+	in := flag.String("in", "", "read and summarize a binary trace file")
+	cliflags.Alias(flag.CommandLine, "out", "o")
+	cliflags.Alias(flag.CommandLine, "in", "i")
 	flag.Parse()
 
 	switch {
@@ -51,6 +59,9 @@ func main() {
 		w, ok := workloads.ByName(*name)
 		if !ok {
 			fatal(fmt.Errorf("unknown workload %q", *name))
+		}
+		if *seed != 0 {
+			w.Seed = *seed
 		}
 		if *sites {
 			_, inventory := workloads.BuildProgramInfo(w.Profile, w.Seed)

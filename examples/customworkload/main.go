@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"localbp"
 	"localbp/internal/trace"
@@ -58,9 +59,16 @@ func main() {
 	tr := trace.Generate(prog, insts, 42)
 	fmt.Println("trace:", trace.Summarize(tr))
 
-	base := localbp.SimulateTrace(tr, localbp.BaselineTAGE())
-	fwd := localbp.SimulateTrace(tr, localbp.ForwardWalk())
-	none := localbp.SimulateTrace(tr, localbp.NoRepair())
+	run := func(s localbp.Scheme) localbp.Result {
+		r, err := localbp.SimulateTrace(tr, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+	base := run(localbp.BaselineTAGE())
+	fwd := run(localbp.ForwardWalk())
+	none := run(localbp.NoRepair())
 
 	fmt.Printf("\n%-14s %8s %8s\n", "config", "IPC", "MPKI")
 	for _, r := range []localbp.Result{base, fwd, none} {

@@ -1,6 +1,7 @@
 // Quickstart: simulate one workload on the Table 2 core with the TAGE
 // baseline and with CBPw-Loop under forward-walk repair (the paper's
-// headline configuration), and print the headline metrics.
+// headline configuration), print the headline metrics, and show the
+// forward-walk run's CPI stack (where every cycle went).
 //
 //	go run ./examples/quickstart
 package main
@@ -19,9 +20,17 @@ func main() {
 	}
 	const insts = 500_000
 
-	base := localbp.Simulate(w, insts, localbp.BaselineTAGE())
-	fwd := localbp.Simulate(w, insts, localbp.ForwardWalk())
-	perf := localbp.Simulate(w, insts, localbp.PerfectRepair())
+	run := func(s localbp.Scheme, opts ...localbp.Option) localbp.Result {
+		r, err := localbp.Simulate(w, insts, s, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	base := run(localbp.BaselineTAGE())
+	fwd := run(localbp.ForwardWalk(), localbp.WithCPIStack())
+	perf := run(localbp.PerfectRepair())
 
 	fmt.Printf("workload %s (%s), %d instructions\n\n", w.Name, w.Category, insts)
 	fmt.Printf("%-14s %8s %8s %12s\n", "config", "IPC", "MPKI", "overrides")
@@ -32,4 +41,6 @@ func main() {
 	gain := func(r localbp.Result) float64 { return 100 * (r.IPC/base.IPC - 1) }
 	fmt.Printf("\nforward walk: %+.2f%% IPC, retaining %.0f%% of the perfect-repair gain\n",
 		gain(fwd), 100*gain(fwd)/gain(perf))
+
+	fmt.Printf("\nforward-walk CPI stack:\n%s", fwd.CPI)
 }

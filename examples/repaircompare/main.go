@@ -24,7 +24,15 @@ func main() {
 	}
 	tr := w.Generate(*insts)
 
-	schemes := []localbp.SchemeOption{
+	run := func(s localbp.Scheme) localbp.Result {
+		r, err := localbp.SimulateTrace(tr, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	schemes := []localbp.Scheme{
 		localbp.NoRepair(),
 		localbp.RetireUpdate(),
 		localbp.BackwardWalk(),
@@ -34,8 +42,8 @@ func main() {
 		localbp.ForwardWalk(),
 	}
 
-	base := localbp.SimulateTrace(tr, localbp.BaselineTAGE())
-	perf := localbp.SimulateTrace(tr, localbp.PerfectRepair())
+	base := run(localbp.BaselineTAGE())
+	perf := run(localbp.PerfectRepair())
 	perfGain := 100 * (perf.IPC/base.IPC - 1)
 
 	fmt.Printf("workload %s (%s), %d instructions\n", w.Name, w.Category, *insts)
@@ -44,8 +52,8 @@ func main() {
 		perfGain, 100*(base.MPKI-perf.MPKI)/base.MPKI)
 
 	fmt.Printf("%-16s %9s %9s %14s\n", "scheme", "dMPKI", "dIPC", "of perfect")
-	for _, opt := range schemes {
-		r := localbp.SimulateTrace(tr, opt)
+	for _, s := range schemes {
+		r := run(s)
 		dm := 100 * (base.MPKI - r.MPKI) / base.MPKI
 		di := 100 * (r.IPC/base.IPC - 1)
 		fmt.Printf("%-16s %8.1f%% %8.2f%% %13.0f%%\n", r.Scheme, dm, di, 100*di/perfGain)

@@ -31,6 +31,7 @@ const (
 	InvROBAgeOrder      = "rob-age-order"          // ROB entries are seq-ordered head→tail
 	InvOccupancy        = "occupancy-bounds"       // ROB/alloc-queue occupancy within capacity
 	InvResolutions      = "resolution-consistency" // pending resolutions match unresolved ROB branches
+	InvCPIAccounting    = "cpi-accounting"         // CPI-stack bucket cycles sum to total cycles
 
 	InvOBQOrder      = "obq-order"       // OBQ Seq strictly increasing head→tail
 	InvOBQBounds     = "obq-bounds"      // OBQ occupancy within capacity

@@ -146,6 +146,15 @@ func (w *schemeAuditor) Stats() *repair.Stats { return w.inner.Stats() }
 // StorageBits implements repair.Scheme.
 func (w *schemeAuditor) StorageBits() int { return w.inner.StorageBits() }
 
+// BusyUntil implements repair.BusyReporter by forwarding to the wrapped
+// scheme (0 — never busy — when it does not report).
+func (w *schemeAuditor) BusyUntil() int64 {
+	if br, ok := w.inner.(repair.BusyReporter); ok {
+		return br.BusyUntil()
+	}
+	return 0
+}
+
 // checkCkptLive verifies that the OBQ entries a correct-path branch carries
 // (ctx.OBQID for single-stage walk schemes, ctx.DeferOBQID for multi-stage)
 // are live and still describe this branch: a dropped, recycled or duplicated

@@ -1,0 +1,59 @@
+// Package cliflags holds the flag conventions shared by the lbpsim,
+// lbpsweep and lbptrace commands: the canonical spellings (-insts,
+// -workload, -scheme, -seed) and a helper that keeps deprecated old
+// spellings working with a one-time migration note.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Warnings is where deprecation notes go; tests redirect it.
+var Warnings io.Writer = os.Stderr
+
+// Alias registers old as a deprecated spelling of the already-registered
+// canonical flag on fs. The alias writes through to the canonical flag's
+// value, so either spelling (or both; last one wins, as with a repeated
+// flag) sets the same variable. The first use of the old spelling per
+// process prints a one-time deprecation note.
+func Alias(fs *flag.FlagSet, canonical, old string) {
+	f := fs.Lookup(canonical)
+	if f == nil {
+		panic(fmt.Sprintf("cliflags: alias %q for unregistered flag %q", old, canonical))
+	}
+	fs.Var(&aliasValue{inner: f.Value, canonical: canonical, old: old}, old,
+		fmt.Sprintf("deprecated spelling of -%s", canonical))
+}
+
+// aliasValue forwards Set/String to the canonical flag's value, noting the
+// deprecated use once.
+type aliasValue struct {
+	inner          flag.Value
+	canonical, old string
+	warned         bool
+}
+
+func (v *aliasValue) String() string {
+	if v.inner == nil {
+		return ""
+	}
+	return v.inner.String()
+}
+
+func (v *aliasValue) Set(s string) error {
+	if !v.warned {
+		v.warned = true
+		fmt.Fprintf(Warnings, "note: -%s is deprecated, use -%s\n", v.old, v.canonical)
+	}
+	return v.inner.Set(s)
+}
+
+// IsBoolFlag forwards the boolean-flag property so `-oldflag` (no value)
+// keeps parsing when the canonical flag is a bool.
+func (v *aliasValue) IsBoolFlag() bool {
+	b, ok := v.inner.(interface{ IsBoolFlag() bool })
+	return ok && b.IsBoolFlag()
+}

@@ -1,0 +1,90 @@
+package cliflags
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestAliasWritesThrough(t *testing.T) {
+	var buf bytes.Buffer
+	Warnings = &buf
+	defer func() { Warnings = os.Stderr }()
+
+	fs := newFS()
+	out := fs.String("out", "", "canonical")
+	Alias(fs, "out", "o")
+	if err := fs.Parse([]string{"-o", "trace.lbp"}); err != nil {
+		t.Fatal(err)
+	}
+	if *out != "trace.lbp" {
+		t.Fatalf("alias did not write through: %q", *out)
+	}
+	if !strings.Contains(buf.String(), "-o is deprecated") {
+		t.Fatalf("no deprecation note: %q", buf.String())
+	}
+
+	// The note prints once per alias, not per use.
+	buf.Reset()
+	fs2 := newFS()
+	in := fs2.String("in", "", "canonical")
+	Alias(fs2, "in", "i")
+	if err := fs2.Parse([]string{"-i", "a", "-i", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if *in != "b" {
+		t.Fatalf("last alias use should win: %q", *in)
+	}
+	if n := strings.Count(buf.String(), "deprecated"); n != 1 {
+		t.Fatalf("note printed %d times", n)
+	}
+}
+
+func TestAliasCanonicalSilent(t *testing.T) {
+	var buf bytes.Buffer
+	Warnings = &buf
+	defer func() { Warnings = os.Stderr }()
+
+	fs := newFS()
+	out := fs.String("out", "", "canonical")
+	Alias(fs, "out", "o")
+	if err := fs.Parse([]string{"-out", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if *out != "x" || buf.Len() != 0 {
+		t.Fatalf("canonical spelling warned: %q (out=%q)", buf.String(), *out)
+	}
+}
+
+func TestAliasBoolFlag(t *testing.T) {
+	Warnings = io.Discard
+	defer func() { Warnings = os.Stderr }()
+
+	fs := newFS()
+	b := fs.Bool("sites", false, "canonical")
+	Alias(fs, "sites", "s")
+	if err := fs.Parse([]string{"-s"}); err != nil {
+		t.Fatal(err)
+	}
+	if !*b {
+		t.Fatal("bool alias did not set")
+	}
+}
+
+func TestAliasUnknownCanonicalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unregistered canonical flag")
+		}
+	}()
+	Alias(newFS(), "nope", "n")
+}

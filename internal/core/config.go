@@ -13,6 +13,7 @@ import (
 	"localbp/internal/audit"
 	"localbp/internal/bpu/btb"
 	"localbp/internal/mem"
+	"localbp/internal/obs"
 	"localbp/internal/trace"
 )
 
@@ -82,6 +83,13 @@ type Config struct {
 	// final instruction/branch counts) against the timing-free in-order
 	// golden model. Divergence aborts the run at the offending retire.
 	Golden *audit.Golden
+
+	// Obs, when non-nil, wires the observability layer: the counter registry
+	// (core and memory counters become pull sources), per-cycle CPI-stack
+	// attribution, and/or the structured event tracer — whichever fields of
+	// the Hooks are non-nil. With Obs nil the hot loop touches no obs symbol
+	// beyond per-cycle nil checks.
+	Obs *obs.Hooks
 }
 
 // DefaultStallCycles is the no-retire deadman threshold when

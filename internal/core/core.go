@@ -8,6 +8,7 @@ import (
 	"localbp/internal/bpu"
 	"localbp/internal/bpu/btb"
 	"localbp/internal/mem"
+	"localbp/internal/obs"
 	"localbp/internal/trace"
 )
 
@@ -143,6 +144,18 @@ type Core struct {
 	dbgFQEmpty, dbgROBFull, dbgNotReady int64
 	dbgDoneSum                          int64
 	dbgDoneN                            int64
+
+	// Observability (all nil/zero when disabled; the per-cycle nil checks
+	// are the entire disabled-path cost).
+	cpi    *obs.CPIStack
+	tracer *obs.Tracer
+	// busyFn reports the repair scheme's busy-window end for repair-busy
+	// CPI attribution (nil when the scheme has none).
+	busyFn func() int64
+	// cpiFrontHold is the cycle until which an empty ROB is attributed to
+	// front-end-resteer: the fetch hold plus the front-end refill depth
+	// after a mispredict flush, early resteer, or BTB miss.
+	cpiFrontHold int64
 }
 
 // DebugAllocStalls returns (fqEmpty, robFull, notReady, avgExecLatency)
@@ -176,7 +189,35 @@ func New(cfg Config, unit *bpu.Unit, prog []trace.Inst) *Core {
 	if cfg.BTB.Entries > 0 {
 		c.btb = btb.New(cfg.BTB)
 	}
+	if h := cfg.Obs; h != nil {
+		c.cpi = h.CPI
+		c.tracer = h.Tracer
+		if h.Reg != nil {
+			h.Reg.AddSource("core", c.emitCounters)
+		}
+		c.mem.AttachObs(h.Reg, h.Tracer)
+		if br, ok := unit.Scheme.(interface{ BusyUntil() int64 }); ok {
+			c.busyFn = br.BusyUntil
+		}
+	}
 	return c
+}
+
+// emitCounters is the registry pull source for the core's native counters.
+func (c *Core) emitCounters(emit func(string, uint64)) {
+	emit("cycles", uint64(c.cycle))
+	emit("insts", c.stats.Insts)
+	emit("branches", c.stats.Branches)
+	emit("mispredicts", c.stats.Mispredicts)
+	emit("tage-mispredicts", c.stats.TageMispredicts)
+	emit("flushes", c.stats.Flushes)
+	emit("early-resteers", c.stats.EarlyResteers)
+	emit("wrong-path-insts", c.stats.WrongPathInsts)
+	emit("fetch-stall-cycles", uint64(c.stats.FetchStallCycles))
+	emit("btb-misses", c.stats.BTBMisses)
+	ov, ovc := c.unit.OverrideStats()
+	emit("overrides", ov)
+	emit("overrides-correct", ovc)
 }
 
 // Stats returns the accumulated statistics.
@@ -242,10 +283,14 @@ func (c *Core) RunChecked() (Stats, error) {
 	lastRetireCycle := int64(0)
 	lastInsts := c.stats.Insts
 	for c.pos < len(c.prog) || c.robLen() > 0 || c.fqCount > 0 {
+		prevInsts := c.stats.Insts
 		c.stepResolutions()
 		c.stepRetire()
 		c.stepAlloc()
 		c.stepFetch()
+		if c.cpi != nil {
+			c.cpi.Add(c.classifyCycle(c.stats.Insts != prevInsts))
+		}
 		if a := c.cfg.Audit; a != nil {
 			if a.ScanDue(c.cycle) {
 				c.auditScan()
@@ -287,6 +332,12 @@ func (c *Core) RunChecked() (Stats, error) {
 		}
 	}
 	c.stats.Cycles = c.cycle
+	if c.cpi != nil && c.cpi.Total() != c.cycle {
+		// The CPI accounting invariant: exactly one bucket per cycle, so
+		// the stack must sum to the cycle count on a completed run.
+		c.violation(0, audit.InvCPIAccounting, fmt.Sprintf(
+			"  cpi-stack attributed %d cycles, core ran %d", c.cpi.Total(), c.cycle))
+	}
 	if g := c.cfg.Golden; g != nil {
 		// The raw (pre-warmup-subtraction) counters are what the golden
 		// model accumulated alongside.
@@ -372,6 +423,57 @@ func (c *Core) auditScan() {
 	}
 }
 
+// classifyCycle attributes the cycle that just finished to exactly one CPI
+// bucket via a priority decision tree (DESIGN.md §11): retired work first;
+// an occupied ROB is blamed on its head (memory in flight → memory-bound,
+// then repair-busy, then structural full conditions, then the alloc-stall
+// residual); an empty ROB is front-end-resteer while the post-flush refill
+// window is open and alloc-stall otherwise.
+func (c *Core) classifyCycle(retired bool) obs.CPIBucket {
+	if retired {
+		return obs.CPIRetired
+	}
+	if c.robLen() > 0 {
+		e := c.robAt(c.robHead)
+		if (e.class == trace.ClassLoad || e.class == trace.ClassStore) && e.done > c.cycle {
+			return obs.CPIMemoryBound
+		}
+		if c.busyFn != nil && c.busyFn() > c.cycle {
+			return obs.CPIRepairBusy
+		}
+		if c.robLen() >= len(c.rob) {
+			return obs.CPIROBFull
+		}
+		if allBusy(c.ldBuf, c.cycle) || allBusy(c.stBuf, c.cycle) {
+			return obs.CPILSQFull
+		}
+		return obs.CPIAllocStall
+	}
+	if c.cycle < c.cpiFrontHold {
+		return obs.CPIFrontendResteer
+	}
+	return obs.CPIAllocStall
+}
+
+// allBusy reports whether every unit of r is reserved past cycle.
+func allBusy(r *resource, cycle int64) bool {
+	for _, f := range r.free {
+		if f <= cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// noteResteer extends the front-end-resteer attribution window: after a
+// fetch hold the front end still needs FrontendDepth cycles to refill before
+// allocation resumes. Only called when the CPI stack is live.
+func (c *Core) noteResteer() {
+	if h := c.fetchHoldTo + c.cfg.FrontendDepth; h > c.cpiFrontHold {
+		c.cpiFrontHold = h
+	}
+}
+
 // stepResolutions processes branch executions due this cycle, oldest first.
 func (c *Core) stepResolutions() {
 	for len(c.resolutions) > 0 && c.resolutions[0].done <= c.cycle {
@@ -404,6 +506,9 @@ func (c *Core) stepResolutions() {
 // still active — always belongs to this branch.
 func (c *Core) handleMispredict(robIdx int64, e *robEntry) {
 	c.stats.Flushes++
+	if c.tracer != nil && e.rec != nil {
+		c.tracer.Emit(obs.EvMispredict, c.cycle, e.rec.Ctx.PC, int64(e.rec.Ctx.Seq))
+	}
 	c.flushROBAfter(robIdx)
 	c.fqFlush()
 	c.diverged = false
@@ -411,6 +516,9 @@ func (c *Core) handleMispredict(robIdx int64, e *robEntry) {
 	hold := c.cycle + c.cfg.ResteerPenalty
 	if hold > c.fetchHoldTo {
 		c.fetchHoldTo = hold
+	}
+	if c.cpi != nil {
+		c.noteResteer()
 	}
 }
 
@@ -544,10 +652,16 @@ func (c *Core) stepAlloc() {
 // direction.
 func (c *Core) handleEarlyResteer(e *robEntry, rec *bpu.BranchRec) {
 	c.stats.EarlyResteers++
+	if c.tracer != nil {
+		c.tracer.Emit(obs.EvEarlyResteer, c.cycle, rec.Ctx.PC, int64(rec.Ctx.Seq))
+	}
 	c.fqFlush()
 	hold := c.cycle + c.cfg.EarlyResteerPenalty
 	if hold > c.fetchHoldTo {
 		c.fetchHoldTo = hold
+	}
+	if c.cpi != nil {
+		c.noteResteer()
 	}
 	if rec.Ctx.PredTaken == rec.Ctx.ActualTaken {
 		// The override fixed a misprediction: cancel the divergence and
@@ -580,13 +694,13 @@ func (c *Core) execTiming(in *trace.Inst) int64 {
 	case trace.ClassLoad:
 		c.ldBuf.take(c.cycle, 1) // occupancy approximated by port pressure
 		start = c.ldPorts.take(ready, 1)
-		lat = c.mem.Access(in.Addr)
+		lat = c.mem.AccessAt(in.Addr, c.cycle)
 	case trace.ClassStore:
 		c.stBuf.take(c.cycle, 1)
 		start = c.stPorts.take(ready, 1)
 		lat = 1
 		// Stores complete at retire; data path latency hidden.
-		c.mem.Access(in.Addr)
+		c.mem.AccessAt(in.Addr, c.cycle)
 	case trace.ClassMul:
 		start = c.muls.take(ready, 1)
 		lat = c.cfg.LatMul
@@ -652,6 +766,9 @@ func (c *Core) stepFetch() {
 					hold := c.cycle + c.cfg.BTBMissPenalty
 					if hold > c.fetchHoldTo {
 						c.fetchHoldTo = hold
+					}
+					if c.cpi != nil {
+						c.noteResteer()
 					}
 				}
 			}

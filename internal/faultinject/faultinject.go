@@ -331,3 +331,12 @@ func (w *faultyScheme) Stats() *repair.Stats { return w.inner.Stats() }
 
 // StorageBits implements repair.Scheme.
 func (w *faultyScheme) StorageBits() int { return w.inner.StorageBits() }
+
+// BusyUntil implements repair.BusyReporter by forwarding to the wrapped
+// scheme (0 — never busy — when it does not report).
+func (w *faultyScheme) BusyUntil() int64 {
+	if br, ok := w.inner.(repair.BusyReporter); ok {
+		return br.BusyUntil()
+	}
+	return 0
+}

@@ -41,6 +41,7 @@ func Experiments() []Experiment {
 		{"fig14a", "Figure 14A: iso-storage TAGE(9KB) vs TAGE+CBPw-Loop+forward walk", Fig14a},
 		{"fig14b", "Figure 14B: CBPw-Loop on a 57KB TAGE baseline", Fig14b},
 		{"ext1", "Extension: repair schemes over a generic (Yeh-Patt) local predictor", Ext1},
+		{"ext2", "Extension: CPI stacks (cycle accounting) under forward-walk repair", Ext2},
 	}
 }
 

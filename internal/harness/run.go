@@ -17,6 +17,7 @@ import (
 	"localbp/internal/core"
 	"localbp/internal/faultinject"
 	"localbp/internal/metrics"
+	"localbp/internal/obs"
 	"localbp/internal/repair"
 	"localbp/internal/trace"
 	"localbp/internal/workloads"
@@ -49,11 +50,45 @@ type Spec struct {
 	// injection (robustness testing; see internal/faultinject).
 	Inject *faultinject.Config
 
+	// Obs, when non-nil, enables the observability layer: every run builds
+	// a fresh obs.Hooks (so concurrent runs never share counter or tracer
+	// state) and hands it to Obs.Done after a successful simulation.
+	Obs *ObsSpec
+
 	// preRun, when set, is invoked at the start of every workload run with
 	// the workload name. It exists for fault-injection tests (a hook that
 	// panics for one workload exercises the runner's panic isolation) and
 	// is deliberately unexported.
 	preRun func(workload string)
+}
+
+// ObsSpec selects which observability instruments a spec's runs carry.
+// Each run gets its own obs.Hooks; under the parallel Runner, Done may be
+// invoked from multiple goroutines and must be safe for concurrent use.
+type ObsSpec struct {
+	CPIStack bool // per-cycle CPI-stack attribution (audited: must sum to cycles)
+	Counters bool // counter registry across core/mem/obq/repair
+	TraceCap int  // event-tracer ring capacity; 0 disables tracing
+	// Observer, when set with TraceCap > 0, streams every event as emitted.
+	Observer func(obs.Event)
+	// Done receives the run's hooks after a successful simulation.
+	Done func(h *obs.Hooks)
+}
+
+// hooks builds one run's observability instruments.
+func (o *ObsSpec) hooks() *obs.Hooks {
+	h := &obs.Hooks{}
+	if o.CPIStack {
+		h.CPI = obs.NewCPIStack()
+	}
+	if o.Counters {
+		h.Reg = obs.NewRegistry()
+	}
+	if o.TraceCap > 0 {
+		h.Tracer = obs.NewTracer(o.TraceCap)
+		h.Tracer.Observer = o.Observer
+	}
+	return h
 }
 
 // Validate checks everything about the spec that can fail before simulation
@@ -83,6 +118,9 @@ func (s Spec) Validate() error {
 	}
 	if s.AuditInterval < 0 {
 		errs = append(errs, fmt.Errorf("spec: AuditInterval: got %d, want >= 0", s.AuditInterval))
+	}
+	if s.Obs != nil && s.Obs.TraceCap < 0 {
+		errs = append(errs, fmt.Errorf("spec: Obs.TraceCap: got %d, want >= 0", s.Obs.TraceCap))
 	}
 	return errors.Join(errs...)
 }
@@ -155,6 +193,17 @@ func RunTraceChecked(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, err
 	if spec.Scheme != nil {
 		scheme = spec.Scheme()
 	}
+	cfg := spec.Core
+	var hooks *obs.Hooks
+	if spec.Obs != nil {
+		hooks = spec.Obs.hooks()
+		cfg.Obs = hooks
+		if scheme != nil {
+			// Register the raw scheme before any decorator wraps it: the
+			// inject/audit wrappers forward behaviour, not registration.
+			repair.AttachObs(scheme, hooks.Reg, hooks.Tracer)
+		}
+	}
 	var inj *faultinject.Injector
 	if spec.Inject != nil {
 		var err error
@@ -166,7 +215,6 @@ func RunTraceChecked(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, err
 			scheme = inj.Wrap(scheme)
 		}
 	}
-	cfg := spec.Core
 	if spec.Audit {
 		aud := audit.New()
 		aud.Interval = spec.AuditInterval
@@ -191,6 +239,9 @@ func RunTraceChecked(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, err
 	st, err := c.RunChecked()
 	if err != nil {
 		return st, nil, err
+	}
+	if hooks != nil && spec.Obs.Done != nil {
+		spec.Obs.Done(hooks)
 	}
 	if scheme != nil {
 		return st, scheme.Stats(), nil

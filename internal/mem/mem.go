@@ -9,6 +9,8 @@
 // effects the paper studies (branch repair), and documented in DESIGN.md.
 package mem
 
+import "localbp/internal/obs"
+
 // Config sizes one cache level.
 type Config struct {
 	SizeBytes int
@@ -27,6 +29,12 @@ type Hierarchy struct {
 	statL1Miss   uint64
 	statL2Miss   uint64
 	statLLCMiss  uint64
+	statPrefHits uint64
+
+	// Observability (nil when disabled; the nil checks are the entire
+	// disabled-path cost).
+	latHist *obs.Histogram
+	tracer  *obs.Tracer
 }
 
 // HierarchyConfig bundles per-level configuration.
@@ -57,41 +65,82 @@ func New(cfg HierarchyConfig) *Hierarchy {
 
 // Access returns the load-to-use latency for addr. Stores are modeled with
 // the same path (write-allocate).
-func (h *Hierarchy) Access(addr uint64) int64 {
+func (h *Hierarchy) Access(addr uint64) int64 { return h.AccessAt(addr, -1) }
+
+// AccessAt is Access with the issuing core cycle, used to timestamp trace
+// events (prefetch hits). A negative cycle means "unknown".
+func (h *Hierarchy) AccessAt(addr uint64, cycle int64) int64 {
 	h.statAccesses++
 	h.l1.streamDetect(addr, h)
-	if h.l1.access(addr) {
-		return h.l1.cfg.Latency
+	lat, level, wasPref := h.lookup(addr)
+	if wasPref {
+		h.statPrefHits++
+		if h.tracer != nil {
+			h.tracer.Emit(obs.EvPrefetchHit, cycle, addr, int64(level))
+		}
+	}
+	if h.latHist != nil {
+		h.latHist.Observe(lat)
+	}
+	return lat
+}
+
+// lookup walks the hierarchy for addr, returning the latency, the level that
+// hit (1=L1, 2=L2, 3=LLC, 4=DRAM) and whether the hit line was brought in by
+// a prefetcher and had not been demand-touched yet.
+func (h *Hierarchy) lookup(addr uint64) (lat int64, level int, wasPref bool) {
+	if hit, pref := h.l1.access(addr); hit {
+		return h.l1.cfg.Latency, 1, pref
 	}
 	h.statL1Miss++
 	h.l1.fill(addr)
 	h.l1.prefetch(addr, h)
-	if h.l2.access(addr) {
-		return h.l1.cfg.Latency + h.l2.cfg.Latency
+	if hit, pref := h.l2.access(addr); hit {
+		return h.l1.cfg.Latency + h.l2.cfg.Latency, 2, pref
 	}
 	h.statL2Miss++
 	h.l2.fill(addr)
 	h.l2.prefetch(addr, h)
-	if h.llc.access(addr) {
-		return h.l1.cfg.Latency + h.l2.cfg.Latency + h.llc.cfg.Latency
+	if hit, pref := h.llc.access(addr); hit {
+		return h.l1.cfg.Latency + h.l2.cfg.Latency + h.llc.cfg.Latency, 3, pref
 	}
 	h.statLLCMiss++
 	h.llc.fill(addr)
 	h.llc.prefetch(addr, h)
-	return h.l1.cfg.Latency + h.l2.cfg.Latency + h.llc.cfg.Latency + h.dramLatency
+	return h.l1.cfg.Latency + h.l2.cfg.Latency + h.llc.cfg.Latency + h.dramLatency, 4, false
 }
+
+// AttachObs registers the hierarchy's counters as a pull source named "mem"
+// and enables the access-latency histogram and prefetch-hit trace events.
+func (h *Hierarchy) AttachObs(reg *obs.Registry, tr *obs.Tracer) {
+	if reg != nil {
+		reg.AddSource("mem", func(emit func(string, uint64)) {
+			emit("accesses", h.statAccesses)
+			emit("l1-misses", h.statL1Miss)
+			emit("l2-misses", h.statL2Miss)
+			emit("llc-misses", h.statLLCMiss)
+			emit("prefetch-hits", h.statPrefHits)
+		})
+		h.latHist = reg.Histogram("mem.latency", obs.MemLatencyBuckets)
+	}
+	h.tracer = tr
+}
+
+// PrefetchHits returns demand accesses that hit a not-yet-touched
+// prefetched line.
+func (h *Hierarchy) PrefetchHits() uint64 { return h.statPrefHits }
 
 // fillThrough inserts a prefetched line at the given level and below.
 func (h *Hierarchy) fillThrough(level *cache, addr uint64) {
 	switch level {
 	case h.l1:
-		h.l1.fill(addr)
-		h.l2.fill(addr)
+		h.l1.fillPref(addr)
+		h.l2.fillPref(addr)
 	case h.l2:
-		h.l2.fill(addr)
-		h.llc.fill(addr)
+		h.l2.fillPref(addr)
+		h.llc.fillPref(addr)
 	case h.llc:
-		h.llc.fill(addr)
+		h.llc.fillPref(addr)
 	}
 }
 
@@ -112,6 +161,9 @@ type cacheLine struct {
 	tag   uint64
 	valid bool
 	lru   uint8
+	// pref marks a line brought in by a prefetcher that no demand access has
+	// touched yet; the first demand hit clears it and counts a prefetch hit.
+	pref bool
 }
 
 type cache struct {
@@ -171,17 +223,20 @@ func log2i(n int) uint {
 	return k
 }
 
-// access probes the cache, updating LRU on hit.
-func (c *cache) access(addr uint64) bool {
+// access probes the cache, updating LRU on hit. The second result reports
+// whether the hit line was an untouched prefetch.
+func (c *cache) access(addr uint64) (hit, wasPref bool) {
 	base, tag := c.index(addr)
 	for w := 0; w < c.cfg.Ways; w++ {
 		l := &c.lines[base+w]
 		if l.valid && l.tag == tag {
 			c.touch(base, w)
-			return true
+			wasPref = l.pref
+			l.pref = false
+			return true, wasPref
 		}
 	}
-	return false
+	return false, false
 }
 
 func (c *cache) touch(base, way int) {
@@ -194,8 +249,13 @@ func (c *cache) touch(base, way int) {
 	c.lines[base+way].lru = 0
 }
 
-// fill inserts addr's line, evicting LRU.
-func (c *cache) fill(addr uint64) {
+// fill inserts addr's line on demand, evicting LRU.
+func (c *cache) fill(addr uint64) { c.fillInto(addr, false) }
+
+// fillPref inserts addr's line on behalf of a prefetcher.
+func (c *cache) fillPref(addr uint64) { c.fillInto(addr, true) }
+
+func (c *cache) fillInto(addr uint64, pref bool) {
 	base, tag := c.index(addr)
 	victim := 0
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -213,7 +273,7 @@ func (c *cache) fill(addr uint64) {
 	}
 	// Preserve the victim's rank so the set keeps a valid LRU
 	// permutation, then promote the fresh line to MRU.
-	c.lines[base+victim] = cacheLine{tag: tag, valid: true, lru: c.lines[base+victim].lru}
+	c.lines[base+victim] = cacheLine{tag: tag, valid: true, lru: c.lines[base+victim].lru, pref: pref}
 	c.touch(base, victim)
 }
 
@@ -264,9 +324,9 @@ func (c *cache) streamDetect(addr uint64, h *Hierarchy) {
 	}
 	for d := uint64(1); d <= 3; d++ {
 		a := (line + d) << c.lineBits
-		h.l1.fill(a)
-		h.l2.fill(a)
-		h.llc.fill(a)
+		h.l1.fillPref(a)
+		h.l2.fillPref(a)
+		h.llc.fillPref(a)
 	}
 }
 

@@ -10,7 +10,10 @@
 // share one entry, reducing capacity pressure.
 package obq
 
-import "localbp/internal/bpu/loop"
+import (
+	"localbp/internal/bpu/loop"
+	"localbp/internal/obs"
+)
 
 // Entry is one OBQ record: the PC and its pre-update BHT state
 // (the paper's 76-bit entry: 64-bit PC, 11-bit pattern, valid bit).
@@ -31,6 +34,10 @@ type Queue struct {
 	statAlloc     uint64
 	statCoalesced uint64
 	statFull      uint64
+
+	// tracer, when non-nil, receives an EvOBQCoalesce event per coalesced
+	// allocation (one nil check on the disabled path).
+	tracer *obs.Tracer
 }
 
 // New returns an OBQ with the given capacity. When coalesce is true,
@@ -65,11 +72,20 @@ func (q *Queue) at(id int64) *Entry { return &q.buf[id%int64(len(q.buf))] }
 // number seq. It returns the absolute entry id the instruction carries, or
 // -1 if the queue is full (the branch goes unprotected, paper §3.1).
 func (q *Queue) Alloc(pc uint64, seq uint64, st loop.State) int64 {
+	return q.AllocAt(pc, seq, st, -1)
+}
+
+// AllocAt is Alloc with the core cycle for event timestamps (negative means
+// "unknown").
+func (q *Queue) AllocAt(pc uint64, seq uint64, st loop.State, cycle int64) int64 {
 	if q.coalesce && q.Len() > 0 {
 		tail := q.at(q.tail - 1)
 		if tail.PC == pc {
 			tail.Runs++
 			q.statCoalesced++
+			if q.tracer != nil {
+				q.tracer.Emit(obs.EvOBQCoalesce, cycle, pc, int64(tail.Runs))
+			}
 			return q.tail - 1
 		}
 	}
@@ -160,6 +176,20 @@ func (q *Queue) Release(id int64) {
 // (shared) allocations, and allocations rejected because the queue was full.
 func (q *Queue) Stats() (alloc, coalesced, full uint64) {
 	return q.statAlloc, q.statCoalesced, q.statFull
+}
+
+// AttachObs registers the queue's counters as a pull source named "obq" and
+// enables coalesce trace events.
+func (q *Queue) AttachObs(reg *obs.Registry, tr *obs.Tracer) {
+	if reg != nil {
+		reg.AddSource("obq", func(emit func(string, uint64)) {
+			emit("allocs", q.statAlloc)
+			emit("coalesced", q.statCoalesced)
+			emit("full-drops", q.statFull)
+			emit("live", uint64(q.Len()))
+		})
+	}
+	q.tracer = tr
 }
 
 // Reset empties the queue (tests and reuse across runs).

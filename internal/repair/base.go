@@ -1,6 +1,9 @@
 package repair
 
-import "localbp/internal/bpu/loop"
+import (
+	"localbp/internal/bpu/loop"
+	"localbp/internal/obs"
+)
 
 // schemeBase holds the machinery shared by the single-BHT schemes: the loop
 // predictor, the busy window during which the BHT can neither predict nor be
@@ -14,13 +17,33 @@ type schemeBase struct {
 	// used to merge/restart overlapping repairs (paper §2.5 issue c).
 	repairSeq  uint64
 	repairLive bool
+
+	// Observability (nil when disabled).
+	tr      *obs.Tracer
+	durHist *obs.Histogram
 }
 
 func (b *schemeBase) busy(cycle int64) bool { return cycle < b.busyUntil }
 
+// BusyUntil implements BusyReporter: the cycle at which the current repair's
+// busy window closes.
+func (b *schemeBase) BusyUntil() int64 { return b.busyUntil }
+
+// AttachObs implements ObsAttacher: registers the repair counters as a pull
+// source named "repair", the per-repair busy-duration histogram, and the
+// EvRepair trace stream.
+func (b *schemeBase) AttachObs(reg *obs.Registry, tr *obs.Tracer) {
+	if reg != nil {
+		reg.AddSource("repair", b.st.EmitCounters)
+		b.durHist = reg.Histogram("repair.busy", obs.RepairBuckets)
+	}
+	b.tr = tr
+}
+
 // beginBusy extends the busy window by dur cycles starting at cycle and
-// accounts the added unavailability.
-func (b *schemeBase) beginBusy(cycle, dur int64) {
+// accounts the added unavailability. pc is the mispredicting branch, used
+// only for trace events.
+func (b *schemeBase) beginBusy(pc uint64, cycle, dur int64) {
 	end := cycle + dur
 	start := cycle
 	if b.busyUntil > start {
@@ -31,6 +54,12 @@ func (b *schemeBase) beginBusy(cycle, dur int64) {
 	}
 	if end > b.busyUntil {
 		b.busyUntil = end
+	}
+	if b.durHist != nil {
+		b.durHist.Observe(dur)
+	}
+	if b.tr != nil {
+		b.tr.Emit(obs.EvRepair, cycle, pc, dur)
 	}
 }
 

@@ -166,7 +166,7 @@ func (s *LimitedPC) OnMispredict(ctx *BranchCtx, cycle int64) {
 	}
 	s.st.Repairs++
 	s.st.RepairWrites += uint64(writes)
-	s.beginBusy(cycle, Ports{CkptRead: s.m, BHTWrite: s.writePorts}.cycles(0, writes))
+	s.beginBusy(ctx.PC, cycle, Ports{CkptRead: s.m, BHTWrite: s.writePorts}.cycles(0, writes))
 }
 
 // StorageBits implements Scheme: 24 bits per carried PC state (5-bit set,

@@ -5,6 +5,7 @@ import (
 
 	"localbp/internal/bpu/loop"
 	"localbp/internal/obq"
+	"localbp/internal/obs"
 )
 
 // MultiStage is contribution 2 (paper §3.2): two-stage prediction with a
@@ -35,6 +36,10 @@ type MultiStage struct {
 	// repaired collects (PC, state) pairs from the BHT-Defer walk for the
 	// second-stage copy into BHT-TAGE; reused across repairs.
 	repaired []PCState
+
+	// Observability (nil when disabled).
+	tr      *obs.Tracer
+	durHist *obs.Histogram
 }
 
 // NewMultiStage builds the split-BHT scheme. cfg describes the *combined*
@@ -73,6 +78,25 @@ func (s *MultiStage) Name() string {
 // OBQ exposes the BHT-Defer history file (read-only introspection for the
 // integrity auditor's structural scans).
 func (s *MultiStage) OBQ() *obq.Queue { return s.q }
+
+// BusyUntil implements BusyReporter: the later of the two stages' repair
+// windows.
+func (s *MultiStage) BusyUntil() int64 {
+	if s.busyTage > s.busyDefer {
+		return s.busyTage
+	}
+	return s.busyDefer
+}
+
+// AttachObs implements ObsAttacher.
+func (s *MultiStage) AttachObs(reg *obs.Registry, tr *obs.Tracer) {
+	if reg != nil {
+		reg.AddSource("repair", s.st.EmitCounters)
+		s.durHist = reg.Histogram("repair.busy", obs.RepairBuckets)
+	}
+	s.tr = tr
+	s.q.AttachObs(reg, tr)
+}
 
 // FetchPredict implements Scheme: BHT-TAGE answers at the prediction stage
 // unless its repair window is open.
@@ -135,7 +159,7 @@ func (s *MultiStage) AllocCheck(ctx *BranchCtx, cycle int64) (bool, bool) {
 				ctx.DeferPre.Dir = pt.Dir
 			}
 		}
-		ctx.DeferOBQID = s.q.Alloc(ctx.PC, ctx.Seq, ctx.DeferPre)
+		ctx.DeferOBQID = s.q.AllocAt(ctx.PC, ctx.Seq, ctx.DeferPre, cycle)
 		if ctx.DeferOBQID < 0 {
 			s.st.CkptMisses++
 		}
@@ -198,6 +222,12 @@ func (s *MultiStage) OnMispredict(ctx *BranchCtx, cycle int64) {
 	s.st.Repairs++
 	s.st.RepairReads += uint64(reads)
 	s.st.RepairWrites += uint64(writes + copies)
+	if s.durHist != nil {
+		s.durHist.Observe(deferCycles + tageCycles)
+	}
+	if s.tr != nil {
+		s.tr.Emit(obs.EvRepair, cycle, ctx.PC, deferCycles+tageCycles)
+	}
 }
 
 func (s *MultiStage) accountBusy(until *int64, cycle, dur int64) {

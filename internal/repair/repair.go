@@ -20,7 +20,10 @@
 // in progress (paper §2.5 issues a-d).
 package repair
 
-import "localbp/internal/bpu/loop"
+import (
+	"localbp/internal/bpu/loop"
+	"localbp/internal/obs"
+)
 
 // PCState is a (PC, BHT state) pair carried by limited-PC repair.
 type PCState struct {
@@ -123,6 +126,43 @@ type Stats struct {
 	NeededSum     uint64 // sum over mispredictions of entries needing repair
 	NeededMax     int    // max entries needing repair at one misprediction
 	NeededSamples uint64
+}
+
+// EmitCounters reports every Stats field through emit, for registration as
+// an obs.Registry pull source (names are stable snapshot keys).
+func (s *Stats) EmitCounters(emit func(name string, v uint64)) {
+	emit("repairs", s.Repairs)
+	emit("unrepaired", s.Unrepaired)
+	emit("reads", s.RepairReads)
+	emit("writes", s.RepairWrites)
+	emit("busy-cycles", s.BusyCycles)
+	emit("ckpt-misses", s.CkptMisses)
+	emit("restarts", s.Restarts)
+	emit("early-resteers", s.EarlyResteers)
+}
+
+// BusyReporter is the optional interface schemes implement to expose the
+// cycle until which their BHT/checkpoint ports are busy. The core uses it
+// for CPI-stack repair-busy attribution; decorator wrappers (audit, fault
+// injection) forward it.
+type BusyReporter interface {
+	BusyUntil() int64
+}
+
+// ObsAttacher is the optional interface schemes implement to register their
+// counters into an obs.Registry and emit repair trace events. Call AttachObs
+// on the raw scheme before decorator wrapping.
+type ObsAttacher interface {
+	AttachObs(reg *obs.Registry, tr *obs.Tracer)
+}
+
+// AttachObs wires observability into s when it supports it (no-op
+// otherwise). It must be invoked on the innermost (unwrapped) scheme: the
+// audit and fault-injection decorators do not forward registration.
+func AttachObs(s Scheme, reg *obs.Registry, tr *obs.Tracer) {
+	if a, ok := s.(ObsAttacher); ok {
+		a.AttachObs(reg, tr)
+	}
 }
 
 // Scheme is one complete local-predictor integration: predictor structures

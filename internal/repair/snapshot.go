@@ -111,7 +111,7 @@ func (s *Snapshot) OnMispredict(ctx *BranchCtx, cycle int64) {
 	s.st.Repairs++
 	s.st.RepairReads += uint64(writes)
 	s.st.RepairWrites += uint64(writes)
-	s.beginBusy(cycle, s.ports.cycles(writes, writes))
+	s.beginBusy(ctx.PC, cycle, s.ports.cycles(writes, writes))
 }
 
 func (s *Snapshot) repairRestartSnap(cycle int64) {

@@ -5,6 +5,7 @@ import (
 
 	"localbp/internal/bpu/loop"
 	"localbp/internal/obq"
+	"localbp/internal/obs"
 )
 
 // walkBase is shared by the backward- and forward-walk history-file schemes:
@@ -21,7 +22,13 @@ type walkBase struct {
 // auditor's structural scans).
 func (w *walkBase) OBQ() *obq.Queue { return w.q }
 
-func (w *walkBase) checkpoint(ctx *BranchCtx) {
+// AttachObs implements ObsAttacher, additionally wiring the OBQ.
+func (w *walkBase) AttachObs(reg *obs.Registry, tr *obs.Tracer) {
+	w.schemeBase.AttachObs(reg, tr)
+	w.q.AttachObs(reg, tr)
+}
+
+func (w *walkBase) checkpoint(ctx *BranchCtx, cycle int64) {
 	if !ctx.HadState && !ctx.Allocated {
 		// Paper §5 "OBQ design": PCs that miss in the BHT are assigned
 		// the id of the entry before the tail rather than a fresh entry;
@@ -29,7 +36,7 @@ func (w *walkBase) checkpoint(ctx *BranchCtx) {
 		ctx.OBQID = -1
 		return
 	}
-	ctx.OBQID = w.q.Alloc(ctx.PC, ctx.Seq, ctx.PreState)
+	ctx.OBQID = w.q.AllocAt(ctx.PC, ctx.Seq, ctx.PreState, cycle)
 	if ctx.OBQID < 0 {
 		ctx.CkptSkipped = true
 		w.st.CkptMisses++
@@ -41,7 +48,7 @@ func (w *walkBase) OnFetchBranch(ctx *BranchCtx, cycle int64) {
 	if !w.specUpdate(ctx, cycle) {
 		return // BHT busy: no update, no checkpoint (paper §2.5b)
 	}
-	w.checkpoint(ctx)
+	w.checkpoint(ctx, cycle)
 }
 
 // OnRetire implements Scheme.
@@ -118,7 +125,7 @@ func (s *BackwardWalk) OnMispredict(ctx *BranchCtx, cycle int64) {
 	s.st.Repairs++
 	s.st.RepairReads += uint64(reads)
 	s.st.RepairWrites += uint64(writes)
-	s.beginBusy(cycle, s.ports.cycles(reads, writes))
+	s.beginBusy(ctx.PC, cycle, s.ports.cycles(reads, writes))
 }
 
 // StorageBits implements Scheme: predictor + OBQ entries (76 bits each,
@@ -191,7 +198,7 @@ func (s *ForwardWalk) OnFetchBranch(ctx *BranchCtx, cycle int64) {
 			ctx.PreState.Dir = pt.Dir
 		}
 	}
-	s.checkpoint(ctx)
+	s.checkpoint(ctx, cycle)
 }
 
 // OnMispredict implements Scheme.
@@ -226,7 +233,7 @@ func (s *ForwardWalk) OnMispredict(ctx *BranchCtx, cycle int64) {
 	s.st.Repairs++
 	s.st.RepairReads += uint64(reads)
 	s.st.RepairWrites += uint64(writes)
-	s.beginBusy(cycle, s.ports.cycles(reads, writes))
+	s.beginBusy(ctx.PC, cycle, s.ports.cycles(reads, writes))
 }
 
 // StorageBits implements Scheme: predictor + repair bits + OBQ + 16 bits per

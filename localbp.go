@@ -6,12 +6,19 @@
 // snapshot queue, backward/forward walk history files, multi-stage split
 // BHT, and limited-PC repair.
 //
-// This package is the public facade. It wires the building blocks together
-// for the common cases:
+// This package is the public facade. Schemes are values built by named
+// constructors (optionally tuned with Scheme options), and a simulation is
+// one Simulate call, tuned with functional options:
 //
 //	w, _ := localbp.Workload("cloud-compression")
-//	res := localbp.Simulate(w, 500_000, localbp.ForwardWalk())
-//	fmt.Printf("IPC %.2f, MPKI %.2f\n", res.IPC, res.MPKI)
+//	res, err := localbp.Simulate(w, 500_000, localbp.ForwardWalk(),
+//		localbp.WithAudit(), localbp.WithCPIStack())
+//	if err != nil { ... }
+//	fmt.Printf("IPC %.2f, MPKI %.2f\n%s", res.IPC, res.MPKI, res.CPI)
+//
+// Observability (the CPI stack, the counter registry, the event tracer) is
+// opt-in per run: a Simulate call without WithCPIStack/WithCounters/
+// WithEventTrace/WithObserver runs the bare pipeline.
 //
 // The full component API lives in the internal packages and is exercised by
 // the cmd/ tools, the examples/ programs and the experiment harness; see
@@ -20,91 +27,252 @@
 package localbp
 
 import (
+	"errors"
 	"fmt"
 
+	"localbp/internal/audit"
 	"localbp/internal/bpu"
 	"localbp/internal/bpu/loop"
 	"localbp/internal/bpu/tage"
-	"localbp/internal/bpu/yehpatt"
 	"localbp/internal/core"
+	"localbp/internal/obs"
 	"localbp/internal/repair"
+	"localbp/internal/schemes"
 	"localbp/internal/trace"
 	"localbp/internal/workloads"
 )
 
-// SchemeOption names a local-predictor integration (predictor + repair).
-type SchemeOption struct {
-	label string
-	make  func() repair.Scheme
-	// oracle marks the never-mispredicting local predictor of Figure 4.
-	oracle bool
+// Scheme names a local-predictor integration (predictor + repair),
+// resolved through the shared scheme registry. Values are built by the
+// named constructors (BaselineTAGE, ForwardWalk, ...) or SchemeByName.
+type Scheme interface {
+	// Label returns the scheme's display name.
+	Label() string
+	// spec keeps the interface closed over this package's registry entries.
+	spec() schemeSpec
 }
 
-// Label returns the option's display name.
-func (o SchemeOption) Label() string { return o.label }
+type schemeSpec struct {
+	label string
+	name  string // registry name
+	opts  []SchemeOpt
+}
+
+func (s schemeSpec) Label() string    { return s.label }
+func (s schemeSpec) spec() schemeSpec { return s }
+
+func mkScheme(label, name string, opts []SchemeOpt) Scheme {
+	return schemeSpec{label: label, name: name, opts: opts}
+}
+
+// SchemeOpt tunes a scheme's construction parameters (loop size, OBQ
+// capacity, port budget, ...). Apply via the scheme constructors.
+type SchemeOpt = schemes.Opt
+
+// WithLoopEntries selects the CBPw-Loop predictor size: 64, 128 (default)
+// or 256 entries. Other values fall back to 128.
+func WithLoopEntries(n int) SchemeOpt {
+	return func(p *schemes.Params) {
+		switch n {
+		case 64:
+			p.Loop = loop.Loop64()
+		case 256:
+			p.Loop = loop.Loop256()
+		default:
+			p.Loop = loop.Loop128()
+		}
+	}
+}
+
+// WithOBQEntries sets the outstanding-branch-queue capacity.
+func WithOBQEntries(n int) SchemeOpt {
+	return func(p *schemes.Params) { p.OBQEntries = n }
+}
+
+// WithPorts sets the checkpoint-read and BHT-write port budget.
+func WithPorts(ckptRead, bhtWrite int) SchemeOpt {
+	return func(p *schemes.Params) {
+		p.Ports = repair.Ports{CkptRead: ckptRead, BHTWrite: bhtWrite}
+	}
+}
+
+// WithCoalescing toggles OBQ same-PC run coalescing (forward walk).
+func WithCoalescing(on bool) SchemeOpt {
+	return func(p *schemes.Params) { p.Coalesce = on }
+}
+
+// WithSharedPT toggles the shared pattern table (multi-stage).
+func WithSharedPT(on bool) SchemeOpt {
+	return func(p *schemes.Params) { p.SharedPT = on }
+}
+
+// WithWritePorts sets the BHT write-port count (limited-PC repair).
+func WithWritePorts(n int) SchemeOpt {
+	return func(p *schemes.Params) { p.WritePorts = n }
+}
+
+// WithInvalidate makes limited-PC repair invalidate entries instead of
+// restoring them.
+func WithInvalidate(on bool) SchemeOpt {
+	return func(p *schemes.Params) { p.Invalidate = on }
+}
 
 // BaselineTAGE simulates the TAGE-only baseline (no local predictor).
-func BaselineTAGE() SchemeOption { return SchemeOption{label: "tage"} }
+func BaselineTAGE() Scheme { return mkScheme("tage", "baseline", nil) }
 
 // PerfectRepair is the oracle upper bound: unbounded checkpoints, zero-cycle
 // repair.
-func PerfectRepair() SchemeOption {
-	return SchemeOption{label: "perfect", make: func() repair.Scheme {
-		return repair.NewPerfect(loop.Loop128())
-	}}
-}
+func PerfectRepair(opts ...SchemeOpt) Scheme { return mkScheme("perfect", "perfect", opts) }
 
 // NoRepair leaves the speculative BHT state unrepaired (paper §2.7).
-func NoRepair() SchemeOption {
-	return SchemeOption{label: "no-repair", make: func() repair.Scheme {
-		return repair.NewNone(loop.Loop128())
-	}}
-}
+func NoRepair(opts ...SchemeOpt) Scheme { return mkScheme("no-repair", "none", opts) }
 
 // RetireUpdate defers BHT updates to retirement (paper §6.2).
-func RetireUpdate() SchemeOption {
-	return SchemeOption{label: "retire-update", make: func() repair.Scheme {
-		return repair.NewRetireUpdate(loop.Loop128())
-	}}
-}
+func RetireUpdate(opts ...SchemeOpt) Scheme { return mkScheme("retire-update", "retire", opts) }
+
+// SnapshotQueue checkpoints the full BHT per branch (SNAP-32-8-8).
+func SnapshotQueue(opts ...SchemeOpt) Scheme { return mkScheme("snapshot", "snapshot", opts) }
 
 // BackwardWalk is the prior-art history-file repair (BWD-32-4-4).
-func BackwardWalk() SchemeOption {
-	return SchemeOption{label: "backward-walk", make: func() repair.Scheme {
-		return repair.NewBackwardWalk(loop.Loop128(), 32, repair.Ports{CkptRead: 4, BHTWrite: 4})
-	}}
-}
+func BackwardWalk(opts ...SchemeOpt) Scheme { return mkScheme("backward-walk", "backward", opts) }
 
 // ForwardWalk is the paper's headline realistic repair (FWD-32-4-2 with OBQ
 // coalescing, §3.1).
-func ForwardWalk() SchemeOption {
-	return SchemeOption{label: "forward-walk", make: func() repair.Scheme {
-		return repair.NewForwardWalk(loop.Loop128(), 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, true)
-	}}
+func ForwardWalk(opts ...SchemeOpt) Scheme {
+	return mkScheme("forward-walk", "forward-coalesce", opts)
 }
 
 // MultiStage is the split-BHT two-stage design with a shared PT (§3.2).
-func MultiStage() SchemeOption {
-	return SchemeOption{label: "multistage", make: func() repair.Scheme {
-		return repair.NewMultiStage(loop.Loop128(), 32, true)
-	}}
-}
+func MultiStage(opts ...SchemeOpt) Scheme { return mkScheme("multistage", "multistage", opts) }
 
 // GenericLocal swaps CBPw-Loop for a generic two-level (Yeh-Patt) local
 // predictor under forward-walk repair, demonstrating the paper's claim that
 // the repair techniques extend to any local predictor design.
-func GenericLocal() SchemeOption {
-	return SchemeOption{label: "yehpatt-forward", make: func() repair.Scheme {
-		return repair.NewForwardWalkFor(yehpatt.New(yehpatt.Default128()),
-			32, repair.Ports{CkptRead: 4, BHTWrite: 2}, true)
-	}}
+func GenericLocal(opts ...SchemeOpt) Scheme {
+	return mkScheme("yehpatt-forward", "yehpatt-forward", opts)
 }
 
 // LimitedPC repairs m PCs per misprediction (§3.3).
-func LimitedPC(m int) SchemeOption {
-	return SchemeOption{label: fmt.Sprintf("limited-%dpc", m), make: func() repair.Scheme {
-		return repair.NewLimitedPC(loop.Loop128(), m, 4, false)
-	}}
+func LimitedPC(m int, opts ...SchemeOpt) Scheme {
+	all := append([]SchemeOpt{func(p *schemes.Params) { p.PCs = m }}, opts...)
+	return mkScheme(fmt.Sprintf("limited-%dpc", m), "limited", all)
+}
+
+// SchemeByName resolves any registry scheme name or alias (see SchemeNames);
+// the label is the canonical registry name.
+func SchemeByName(name string, opts ...SchemeOpt) (Scheme, error) {
+	d, _, err := schemes.Resolve(name, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("localbp: %w", err)
+	}
+	return mkScheme(d.Name, d.Name, opts), nil
+}
+
+// SchemeNames returns every canonical scheme name, sorted.
+func SchemeNames() []string { return schemes.Names() }
+
+// SchemeOption is the deprecated name of Scheme.
+//
+// Deprecated: use Scheme.
+type SchemeOption = Scheme
+
+// Observability re-exports: callers interpret CPI stacks and trace events
+// through these aliases without importing internal packages.
+type (
+	// CPIStack is a per-run cycle-accounting breakdown; every simulated
+	// cycle is attributed to exactly one bucket. Its String method renders
+	// an aligned table.
+	CPIStack = obs.CPIStack
+	// CPIBucket indexes one CPIStack category.
+	CPIBucket = obs.CPIBucket
+	// Event is one structured trace event (mispredict, repair, ...).
+	Event = obs.Event
+	// EventKind discriminates Event values.
+	EventKind = obs.EventKind
+)
+
+// CPI-stack buckets (see CPIStack.Fraction).
+const (
+	CPIRetired         = obs.CPIRetired
+	CPIFrontendResteer = obs.CPIFrontendResteer
+	CPIMemoryBound     = obs.CPIMemoryBound
+	CPIRepairBusy      = obs.CPIRepairBusy
+	CPIROBFull         = obs.CPIROBFull
+	CPILSQFull         = obs.CPILSQFull
+	CPIAllocStall      = obs.CPIAllocStall
+)
+
+// Event kinds emitted by the tracer.
+const (
+	EvMispredict   = obs.EvMispredict
+	EvEarlyResteer = obs.EvEarlyResteer
+	EvRepair       = obs.EvRepair
+	EvOBQCoalesce  = obs.EvOBQCoalesce
+	EvPrefetchHit  = obs.EvPrefetchHit
+)
+
+// Option tunes one Simulate/SimulateTrace run.
+type Option func(*simConfig)
+
+type simConfig struct {
+	auditOn   bool
+	golden    bool
+	seed      int64
+	seedSet   bool
+	warmup    uint64
+	cpistack  bool
+	counters  bool
+	traceCap  int
+	observer  func(Event)
+	maxCycles int64
+}
+
+// WithAudit enables the integrity auditor: read-only invariant checks over
+// the core loop and the repair scheme; the first violation aborts the run
+// with a structured *audit.IntegrityError.
+func WithAudit() Option { return func(c *simConfig) { c.auditOn = true } }
+
+// WithGolden cross-checks every retirement against the timing-free in-order
+// golden model of the same trace.
+func WithGolden() Option { return func(c *simConfig) { c.golden = true } }
+
+// WithSeed overrides the workload's trace-generation seed (Simulate only;
+// SimulateTrace takes a prepared stream).
+func WithSeed(s int64) Option {
+	return func(c *simConfig) { c.seed, c.seedSet = s, true }
+}
+
+// WithWarmup excludes the first n retired instructions from the reported
+// statistics (predictor and cache warmup).
+func WithWarmup(n uint64) Option { return func(c *simConfig) { c.warmup = n } }
+
+// WithMaxCycles bounds the run's simulated cycles (0 = automatic budget).
+func WithMaxCycles(n int64) Option { return func(c *simConfig) { c.maxCycles = n } }
+
+// WithCPIStack enables per-cycle CPI-stack accounting; Result.CPI holds the
+// breakdown. The attribution is audited: buckets must sum to total cycles.
+func WithCPIStack() Option { return func(c *simConfig) { c.cpistack = true } }
+
+// WithCounters enables the counter registry; Result.Counters holds a
+// name → value snapshot across core, memory, OBQ and repair subsystems.
+func WithCounters() Option { return func(c *simConfig) { c.counters = true } }
+
+// WithEventTrace enables the structured event tracer with a ring buffer of
+// the given capacity (≤ 0 selects 4096); Result.Events holds the retained
+// events, oldest first.
+func WithEventTrace(capacity int) Option {
+	return func(c *simConfig) {
+		if capacity <= 0 {
+			capacity = 4096
+		}
+		c.traceCap = capacity
+	}
+}
+
+// WithObserver streams every trace event to fn as it is emitted (implies
+// event tracing). fn runs on the simulation goroutine; keep it cheap.
+func WithObserver(fn func(Event)) Option {
+	return func(c *simConfig) { c.observer = fn }
 }
 
 // Result summarizes one simulation.
@@ -119,6 +287,14 @@ type Result struct {
 	// Overrides counts local-predictor overrides of TAGE; OverridesOK the
 	// ones confirmed correct on the retired path.
 	Overrides, OverridesOK uint64
+
+	// CPI is the cycle-accounting breakdown; non-nil only with WithCPIStack.
+	CPI *CPIStack
+	// Counters is the registry snapshot; non-nil only with WithCounters.
+	Counters map[string]uint64
+	// Events holds the tracer's retained events (oldest first); non-nil
+	// only with WithEventTrace or WithObserver.
+	Events []Event
 }
 
 // WorkloadInfo identifies a suite workload.
@@ -135,23 +311,98 @@ func QuickWorkloads() []WorkloadInfo { return workloads.QuickSuite() }
 
 // Simulate runs one workload for n instructions on the Table 2 core under
 // the given scheme.
-func Simulate(w WorkloadInfo, n int, opt SchemeOption) Result {
-	return SimulateTrace(w.Generate(n), opt)
+func Simulate(w WorkloadInfo, n int, s Scheme, opts ...Option) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("localbp: instruction count %d, want > 0", n)
+	}
+	var sc simConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&sc)
+		}
+	}
+	if sc.seedSet {
+		w.Seed = sc.seed
+	}
+	return simulate(w.Generate(n), s, sc)
 }
 
 // SimulateTrace runs a prepared instruction stream under the given scheme.
-func SimulateTrace(tr []trace.Inst, opt SchemeOption) Result {
-	var scheme repair.Scheme
-	if opt.make != nil {
-		scheme = opt.make()
+func SimulateTrace(tr []trace.Inst, s Scheme, opts ...Option) (Result, error) {
+	var sc simConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&sc)
+		}
 	}
+	return simulate(tr, s, sc)
+}
+
+func simulate(tr []trace.Inst, s Scheme, sc simConfig) (Result, error) {
+	if s == nil {
+		return Result{}, errors.New("localbp: nil scheme")
+	}
+	sp := s.spec()
+	scheme, def, err := schemes.Build(sp.name, sp.opts...)
+	if err != nil {
+		return Result{}, fmt.Errorf("localbp: %w", err)
+	}
+
+	ccfg := core.DefaultConfig()
+	ccfg.WarmupInsts = sc.warmup
+	ccfg.MaxCycles = sc.maxCycles
+
+	// Observability hooks: built fresh per run, so concurrent Simulate
+	// calls never share registries or tracers.
+	hooks := &obs.Hooks{}
+	wantObs := false
+	if sc.cpistack {
+		hooks.CPI = obs.NewCPIStack()
+		wantObs = true
+	}
+	if sc.counters {
+		hooks.Reg = obs.NewRegistry()
+		wantObs = true
+	}
+	if sc.traceCap > 0 || sc.observer != nil {
+		capacity := sc.traceCap
+		if capacity <= 0 {
+			capacity = 4096
+		}
+		hooks.Tracer = obs.NewTracer(capacity)
+		hooks.Tracer.Observer = sc.observer
+		wantObs = true
+	}
+	if wantObs {
+		ccfg.Obs = hooks
+		if scheme != nil {
+			// Register the raw scheme before any decorator wraps it: the
+			// audit/inject wrappers forward behaviour, not registration.
+			repair.AttachObs(scheme, hooks.Reg, hooks.Tracer)
+		}
+	}
+
+	if sc.auditOn {
+		aud := audit.New()
+		ccfg.Audit = aud
+		if scheme != nil {
+			scheme = audit.WrapScheme(scheme, aud)
+		}
+	}
+	if sc.golden {
+		ccfg.Golden = audit.NewGolden(tr)
+	}
+
 	unit := bpu.NewUnit(tage.KB8(), scheme)
-	unit.Oracle = opt.oracle
-	c := core.New(core.DefaultConfig(), unit, tr)
-	st := c.Run()
+	unit.Oracle = def.Oracle
+	c := core.New(ccfg, unit, tr)
+	st, err := c.RunChecked()
+	if err != nil {
+		return Result{}, err
+	}
 	ov, ovok := unit.OverrideStats()
-	return Result{
-		Scheme:      opt.label,
+	res := Result{
+		Scheme:      sp.label,
 		IPC:         st.IPC(),
 		MPKI:        st.MPKI(),
 		Cycles:      st.Cycles,
@@ -160,5 +411,35 @@ func SimulateTrace(tr []trace.Inst, opt SchemeOption) Result {
 		Mispredicts: st.Mispredicts,
 		Overrides:   ov,
 		OverridesOK: ovok,
+		CPI:         hooks.CPI,
 	}
+	if hooks.Reg != nil {
+		res.Counters = hooks.Reg.Snapshot()
+	}
+	if hooks.Tracer != nil {
+		res.Events = hooks.Tracer.Events()
+	}
+	return res, nil
+}
+
+// MustSimulate is Simulate for quick scripts: it panics on error.
+//
+// Deprecated: use Simulate and handle the error.
+func MustSimulate(w WorkloadInfo, n int, s Scheme, opts ...Option) Result {
+	res, err := Simulate(w, n, s, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// MustSimulateTrace is SimulateTrace for quick scripts: it panics on error.
+//
+// Deprecated: use SimulateTrace and handle the error.
+func MustSimulateTrace(tr []trace.Inst, s Scheme, opts ...Option) Result {
+	res, err := SimulateTrace(tr, s, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -1,6 +1,9 @@
 package localbp
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestWorkloadLookup(t *testing.T) {
 	w, ok := Workload("cloud-compression")
@@ -23,8 +26,14 @@ func TestSuitesExposed(t *testing.T) {
 
 func TestSimulateBaselineVsPerfect(t *testing.T) {
 	w, _ := Workload("cloud-compression")
-	base := Simulate(w, 120_000, BaselineTAGE())
-	perf := Simulate(w, 120_000, PerfectRepair())
+	base, err := Simulate(w, 120_000, BaselineTAGE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := Simulate(w, 120_000, PerfectRepair())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if base.Insts != 120_000 || perf.Insts != 120_000 {
 		t.Fatal("instruction counts wrong")
 	}
@@ -40,10 +49,11 @@ func TestSimulateBaselineVsPerfect(t *testing.T) {
 	}
 }
 
-func TestSchemeOptionLabels(t *testing.T) {
-	opts := []SchemeOption{
+func TestSchemeLabels(t *testing.T) {
+	opts := []Scheme{
 		BaselineTAGE(), PerfectRepair(), NoRepair(), RetireUpdate(),
-		BackwardWalk(), ForwardWalk(), MultiStage(), LimitedPC(4), GenericLocal(),
+		SnapshotQueue(), BackwardWalk(), ForwardWalk(), MultiStage(),
+		LimitedPC(4), GenericLocal(),
 	}
 	seen := map[string]bool{}
 	for _, o := range opts {
@@ -52,14 +62,159 @@ func TestSchemeOptionLabels(t *testing.T) {
 		}
 		seen[o.Label()] = true
 	}
+	// The deprecated alias must keep compiling against the new interface.
+	var dep SchemeOption = ForwardWalk()
+	if dep.Label() != "forward-walk" {
+		t.Fatalf("alias label %q", dep.Label())
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range SchemeNames() {
+		s, err := SchemeByName(name)
+		if err != nil {
+			t.Fatalf("registry name %q failed: %v", name, err)
+		}
+		if s.Label() != name {
+			t.Fatalf("label %q for registry name %q", s.Label(), name)
+		}
+	}
+	// Aliases resolve to the canonical entry.
+	s, err := SchemeByName("forward-walk")
+	if err != nil || s.Label() != "forward-coalesce" {
+		t.Fatalf("alias resolution: %v, label %q", err, s.Label())
+	}
+	if _, err := SchemeByName("bogus"); err == nil {
+		t.Fatal("unknown scheme name accepted")
+	} else if !strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("error does not list valid names: %v", err)
+	}
 }
 
 func TestSimulateTraceSharesTrace(t *testing.T) {
 	w, _ := Workload("tabletmark-email")
 	tr := w.Generate(60_000)
-	a := SimulateTrace(tr, ForwardWalk())
-	b := SimulateTrace(tr, ForwardWalk())
-	if a != b {
+	a, err := SimulateTrace(tr, ForwardWalk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateTrace(tr, ForwardWalk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Insts != b.Insts || a.Mispredicts != b.Mispredicts ||
+		a.IPC != b.IPC || a.MPKI != b.MPKI || a.Overrides != b.Overrides {
 		t.Fatalf("same trace and scheme diverged:\n%+v\n%+v", a, b)
 	}
+}
+
+func TestSimulateNilSchemeAndBadCount(t *testing.T) {
+	w, _ := Workload("cloud-compression")
+	if _, err := Simulate(w, 0, BaselineTAGE()); err == nil {
+		t.Fatal("zero instruction count accepted")
+	}
+	if _, err := SimulateTrace(w.Generate(1000), nil); err == nil {
+		t.Fatal("nil scheme accepted")
+	}
+}
+
+func TestWithSeedChangesTrace(t *testing.T) {
+	w, _ := Workload("cloud-compression")
+	a, err := Simulate(w, 60_000, ForwardWalk(), WithAudit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(w, 60_000, ForwardWalk(), WithSeed(12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles == b.Cycles && a.Mispredicts == b.Mispredicts {
+		t.Fatal("seed override did not change the generated trace")
+	}
+}
+
+func TestSimulateObservability(t *testing.T) {
+	w, _ := Workload("cloud-compression")
+	var streamed int
+	res, err := Simulate(w, 80_000, ForwardWalk(),
+		WithAudit(), WithGolden(), WithCPIStack(), WithCounters(),
+		WithEventTrace(256), WithObserver(func(Event) { streamed++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPI == nil {
+		t.Fatal("WithCPIStack produced no CPI stack")
+	}
+	if res.CPI.Total() != res.Cycles {
+		t.Fatalf("CPI stack attributed %d cycles, run took %d", res.CPI.Total(), res.Cycles)
+	}
+	if res.CPI.Count(CPIRetired) == 0 {
+		t.Fatal("no retired-work cycles attributed")
+	}
+	if res.Counters == nil {
+		t.Fatal("WithCounters produced no snapshot")
+	}
+	for _, key := range []string{"core.cycles", "core.insts", "mem.accesses", "repair.repairs", "obq.allocs"} {
+		if _, ok := res.Counters[key]; !ok {
+			t.Fatalf("counter %q missing from snapshot (have %d keys)", key, len(res.Counters))
+		}
+	}
+	if res.Counters["core.insts"] != res.Insts {
+		t.Fatalf("counter core.insts=%d, result %d", res.Counters["core.insts"], res.Insts)
+	}
+	if len(res.Events) == 0 || len(res.Events) > 256 {
+		t.Fatalf("event trace retained %d events, want 1..256", len(res.Events))
+	}
+	if streamed == 0 {
+		t.Fatal("observer saw no events")
+	}
+	sawMisp := false
+	for _, e := range res.Events {
+		if e.Kind == EvMispredict {
+			sawMisp = true
+			break
+		}
+	}
+	if !sawMisp && res.Mispredicts > 0 {
+		t.Fatal("mispredictions occurred but none retained in the event window")
+	}
+
+	// A bare run keeps the observability fields nil.
+	bare, err := Simulate(w, 60_000, ForwardWalk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.CPI != nil || bare.Counters != nil || bare.Events != nil {
+		t.Fatal("observability fields set without opt-in")
+	}
+}
+
+func TestSchemeOptions(t *testing.T) {
+	w, _ := Workload("cloud-compression")
+	small, err := Simulate(w, 60_000, ForwardWalk(WithOBQEntries(4), WithPorts(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Simulate(w, 60_000, ForwardWalk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Cycles <= big.Cycles {
+		t.Fatalf("starved repair (4-entry OBQ, 1/1 ports) not slower: %d vs %d cycles",
+			small.Cycles, big.Cycles)
+	}
+}
+
+func TestMustShims(t *testing.T) {
+	w, _ := Workload("cloud-compression")
+	res := MustSimulate(w, 30_000, BaselineTAGE())
+	if res.Insts != 30_000 {
+		t.Fatalf("MustSimulate retired %d", res.Insts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSimulateTrace did not panic on error")
+		}
+	}()
+	MustSimulateTrace(w.Generate(1000), nil)
 }
