@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race audit bench-json fuzz-smoke
+.PHONY: check build vet test race audit bench-json bench-pr5 bench-compare fuzz-smoke
 
 # check is the CI gate: static analysis plus the full suite under the race
 # detector (the parallel sweep runner is on by default).
@@ -9,12 +9,12 @@ check: vet race
 build:
 	$(GO) build ./...
 
-# vet also runs the observability allocation guard: the delta between an
-# obs-enabled and obs-disabled run must be a fixed setup cost, never
-# per-cycle or per-event allocations.
+# vet also runs the allocation guards: the obs layer's cost must be a fixed
+# setup delta, and the core loop's allocations must be per-run setup only —
+# never per-cycle, per-branch or per-event work.
 vet:
 	$(GO) vet ./...
-	$(GO) test -run TestObsAllocGuard -count=1 .
+	$(GO) test -run 'TestObsAllocGuard|TestCoreLoopAllocGuard' -count=1 .
 
 test:
 	$(GO) test ./...
@@ -28,11 +28,23 @@ race:
 audit:
 	LBP_AUDIT=1 $(GO) test ./...
 
-# bench-json regenerates the machine-readable throughput baseline
-# (BENCH_baseline.json): ns/op, ns/inst, ns/cycle, allocs/op and B/op for
-# the obs-disabled and obs-enabled core loop.
+# bench-json regenerates the machine-readable, timestamped throughput
+# baseline (BENCH_baseline.json): ns/op, ns/inst, ns/cycle, allocs/op and
+# B/op for the obs-disabled and obs-enabled core loop.
 bench-json:
 	$(GO) run ./cmd/lbpbench -out BENCH_baseline.json
+
+# bench-pr5 snapshots the current tree's numbers as the PR-5 point of the
+# performance trajectory (compare against BENCH_baseline.json).
+bench-pr5:
+	$(GO) run ./cmd/lbpbench -out BENCH_pr5.json
+
+# bench-compare gates the trajectory: exits non-zero when NEW regressed
+# ns/op or allocs/op against OLD by more than 10%.
+OLD ?= BENCH_baseline.json
+NEW ?= BENCH_pr5.json
+bench-compare:
+	$(GO) run ./cmd/lbpbench -compare -old $(OLD) -new $(NEW)
 
 # fuzz-smoke gives each native fuzz target a short budget; failures minimize
 # into testdata/fuzz corpora as usual.

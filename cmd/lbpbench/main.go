@@ -1,14 +1,17 @@
 // Command lbpbench measures end-to-end simulator throughput with
-// testing.Benchmark and writes a machine-readable baseline file. The
-// baseline records ns/op, ns per simulated instruction, ns per simulated
-// cycle, allocs/op and bytes/op for the obs-disabled and obs-enabled core
-// loop, so later changes can be checked against the ISSUE acceptance bar
-// (obs-disabled within ±2% ns/op and 0 extra allocs/op).
+// testing.Benchmark and writes a machine-readable, timestamped baseline
+// file. The baseline records ns/op, ns per simulated instruction, ns per
+// simulated cycle, allocs/op and bytes/op for the obs-disabled and
+// obs-enabled core loop, so later changes can be checked against a pinned
+// performance trajectory (BENCH_baseline.json → BENCH_pr5.json → …).
 //
 // Usage:
 //
-//	lbpbench [-out BENCH_baseline.json] [-insts N] [-workload NAME] [-scheme NAME]
+//	lbpbench [-out BENCH_pr5.json] [-insts N] [-workload NAME] [-scheme NAME]
+//	lbpbench -compare -old BENCH_baseline.json -new BENCH_pr5.json [-max-regress 0.10]
 //
+// Compare mode gates the trajectory: it exits non-zero when any entry of
+// -new regressed ns/op or allocs/op against -old by more than -max-regress.
 // -insts, -workload, -scheme and -seed spell the same across all commands.
 package main
 
@@ -19,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"localbp"
 )
@@ -33,14 +37,15 @@ type entry struct {
 }
 
 type baseline struct {
-	GoVersion string  `json:"go_version"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	Workload  string  `json:"workload"`
-	Scheme    string  `json:"scheme"`
-	Insts     int     `json:"insts"`
-	Cycles    int64   `json:"cycles"`
-	Entries   []entry `json:"entries"`
+	GeneratedAt string  `json:"generated_at,omitempty"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	Workload    string  `json:"workload"`
+	Scheme      string  `json:"scheme"`
+	Insts       int     `json:"insts"`
+	Cycles      int64   `json:"cycles"`
+	Entries     []entry `json:"entries"`
 }
 
 func main() {
@@ -49,7 +54,18 @@ func main() {
 	workload := flag.String("workload", "cloud-compression", "workload to benchmark")
 	schemeName := flag.String("scheme", "forward-coalesce", "repair scheme to benchmark")
 	seed := flag.Int64("seed", 0, "override the workload's trace-generation seed (0 = workload default)")
+	compare := flag.Bool("compare", false, "compare two baseline files instead of benchmarking")
+	oldPath := flag.String("old", "BENCH_baseline.json", "compare: reference baseline")
+	newPath := flag.String("new", "BENCH_pr5.json", "compare: candidate baseline")
+	maxRegress := flag.Float64("max-regress", 0.10, "compare: max tolerated fractional regression")
 	flag.Parse()
+
+	if *compare {
+		if err := compareBaselines(*oldPath, *newPath, *maxRegress); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	w, ok := localbp.Workload(*workload)
 	if !ok {
@@ -95,13 +111,14 @@ func main() {
 	}
 
 	b := baseline{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Workload:  w.Name,
-		Scheme:    scheme.Label(),
-		Insts:     len(tr),
-		Cycles:    ref.Cycles,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Workload:    w.Name,
+		Scheme:      scheme.Label(),
+		Insts:       len(tr),
+		Cycles:      ref.Cycles,
 		Entries: []entry{
 			bench("core-loop"),
 			bench("core-loop-obs",
@@ -128,4 +145,80 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "lbpbench:", err)
 	os.Exit(1)
+}
+
+// loadBaseline reads one baseline JSON file.
+func loadBaseline(path string) (baseline, error) {
+	var b baseline
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Entries) == 0 {
+		return b, fmt.Errorf("%s: no benchmark entries", path)
+	}
+	return b, nil
+}
+
+// compareBaselines prints an old-vs-new table and errors when any matching
+// entry regressed ns/op or allocs/op by more than maxRegress. Entries
+// present on only one side are reported but not gated.
+func compareBaselines(oldPath, newPath string, maxRegress float64) error {
+	oldB, err := loadBaseline(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := loadBaseline(newPath)
+	if err != nil {
+		return err
+	}
+	if oldB.Workload != newB.Workload || oldB.Insts != newB.Insts || oldB.Scheme != newB.Scheme {
+		fmt.Printf("note: configurations differ (%s/%s/%d vs %s/%s/%d); ratios may not be meaningful\n",
+			oldB.Workload, oldB.Scheme, oldB.Insts, newB.Workload, newB.Scheme, newB.Insts)
+	}
+	oldByName := map[string]entry{}
+	for _, e := range oldB.Entries {
+		oldByName[e.Name] = e
+	}
+	fmt.Printf("%-16s %14s %14s %9s %14s %14s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs", "ratio")
+	var regressions []string
+	for _, ne := range newB.Entries {
+		oe, ok := oldByName[ne.Name]
+		if !ok {
+			fmt.Printf("%-16s (new entry, not gated)\n", ne.Name)
+			continue
+		}
+		delete(oldByName, ne.Name)
+		speedup := oe.NsPerOp / ne.NsPerOp
+		allocRatio := float64(oe.AllocsPerOp) / float64(max(ne.AllocsPerOp, 1))
+		fmt.Printf("%-16s %14.0f %14.0f %8.2fx %14d %14d %8.2fx\n",
+			ne.Name, oe.NsPerOp, ne.NsPerOp, speedup, oe.AllocsPerOp, ne.AllocsPerOp, allocRatio)
+		if ne.NsPerOp > oe.NsPerOp*(1+maxRegress) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: ns/op regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+				ne.Name, 100*(ne.NsPerOp/oe.NsPerOp-1), oe.NsPerOp, ne.NsPerOp, 100*maxRegress))
+		}
+		// Allocation counts are deterministic; gate with the same fractional
+		// tolerance plus a small absolute slack for runtime-internal noise.
+		if float64(ne.AllocsPerOp) > float64(oe.AllocsPerOp)*(1+maxRegress)+16 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op regressed %d -> %d (tolerance %.0f%%)",
+				ne.Name, oe.AllocsPerOp, ne.AllocsPerOp, 100*maxRegress))
+		}
+	}
+	for name := range oldByName {
+		fmt.Printf("%-16s (dropped in %s)\n", name, newPath)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%%", len(regressions), 100*maxRegress)
+	}
+	fmt.Printf("ok: no entry regressed beyond %.0f%%\n", 100*maxRegress)
+	return nil
 }

@@ -396,6 +396,32 @@ func (p *Predictor) SaveCheckpoint(ck *Checkpoint) {
 	ck.phist = p.phist
 }
 
+// PrimeMetas sizes the metadata slices of every record in ms for this
+// predictor out of two shared arenas: one allocation per field instead of
+// one per record. Predict never reallocates a primed Meta.
+func (p *Predictor) PrimeMetas(ms []*Meta) {
+	nt := len(p.tables)
+	idx := make([]uint32, len(ms)*nt)
+	tags := make([]uint16, len(ms)*nt)
+	for i, m := range ms {
+		m.indices = idx[i*nt : (i+1)*nt : (i+1)*nt]
+		m.tags = tags[i*nt : (i+1)*nt : (i+1)*nt]
+	}
+}
+
+// PrimeCheckpoints sizes the folded-register slices of every checkpoint in
+// cks out of one shared arena, so SaveCheckpoint never reallocates them.
+func (p *Predictor) PrimeCheckpoints(cks []*Checkpoint) {
+	nt := len(p.tables)
+	arena := make([]uint32, 3*len(cks)*nt)
+	for i, ck := range cks {
+		base := 3 * i * nt
+		ck.foldIdx = arena[base : base+nt : base+nt]
+		ck.foldTag1 = arena[base+nt : base+2*nt : base+2*nt]
+		ck.foldTag2 = arena[base+2*nt : base+3*nt : base+3*nt]
+	}
+}
+
 // RestoreCheckpoint rewinds GHIST/PHIST to ck. History bits newer than the
 // checkpoint are abandoned; the underlying circular buffer still holds the
 // pre-checkpoint bits as long as fewer than histBufBits branches were in

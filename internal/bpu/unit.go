@@ -54,6 +54,38 @@ func NewUnit(tcfg tage.Config, scheme repair.Scheme) *Unit {
 	return &Unit{Tage: tage.New(tcfg), Scheme: scheme}
 }
 
+// Prealloc grows the record pool to at least n entries, batch-allocating the
+// records and their TAGE metadata/checkpoint storage out of shared arenas.
+// The core calls it once at construction with its in-flight branch bound, so
+// the steady-state GetRec/PutRec cycle never allocates. A pool that ever
+// runs dry falls back to lazy per-record allocation.
+func (u *Unit) Prealloc(n int) {
+	have := len(u.pool)
+	if have >= n {
+		return
+	}
+	add := n - have
+	if cap(u.pool) < n {
+		pool := make([]*BranchRec, have, n+16)
+		copy(pool, u.pool)
+		u.pool = pool
+	}
+	recs := make([]BranchRec, add)
+	if u.Tage != nil {
+		ms := make([]*tage.Meta, add)
+		cks := make([]*tage.Checkpoint, add)
+		for i := range recs {
+			ms[i] = &recs[i].TageMeta
+			cks[i] = &recs[i].Ckpt
+		}
+		u.Tage.PrimeMetas(ms)
+		u.Tage.PrimeCheckpoints(cks)
+	}
+	for i := range recs {
+		u.pool = append(u.pool, &recs[i])
+	}
+}
+
 // GetRec returns a reset branch record from the pool.
 func (u *Unit) GetRec() *BranchRec {
 	var r *BranchRec

@@ -1,0 +1,197 @@
+package core
+
+// The resolution queue is a calendar (bucket) queue keyed on the resolve
+// cycle: one ring slot per future cycle inside a fixed window, plus an
+// overflow list for the rare event scheduled beyond it. It replaces the
+// container/heap priority queue the core used to carry — the heap boxed
+// every resolution through `any` on both Push and Pop, which made the two
+// hottest per-branch operations each cost a heap allocation.
+//
+// Ordering contract (must match the old heap exactly): resolutions pop in
+// (done, seq) ascending order. The calendar gets this for free:
+//
+//   - buckets drain in cycle order, so done ordering holds across buckets;
+//   - the core allocates branches in program order with a monotonically
+//     increasing seq, so appends within one bucket arrive in seq order;
+//   - an overflow entry migrates into its bucket on the first cycle the
+//     window reaches it — before any same-cycle append can land there
+//     (migration runs in stepResolutions, appends in the later stepAlloc) —
+//     so migrated entries keep their seq position too.
+//
+// Invariants:
+//
+//   - every bucket entry has done in [base, base+calWindow), so slot
+//     (done & calMask) is collision-free and drains never inspect done;
+//   - every overflow entry has done >= base+calWindow after migration ran;
+//   - base only advances (advance sets base = cycle+1 after draining).
+const (
+	calWindowLog = 11
+	calWindow    = int64(1) << calWindowLog // cycles covered by the ring
+	calMask      = calWindow - 1
+)
+
+type calQueue struct {
+	buckets [][]resolution // len calWindow, slot = done & calMask
+	base    int64          // cycles < base are fully drained
+	count   int            // live entries in buckets (not overflow)
+
+	// scanFrom is a lower bound on the earliest live bucket entry: nextDue
+	// scans forward from it and parks it at the found cycle, so repeated
+	// queries while waiting on a far-future event stay O(1).
+	scanFrom int64
+
+	overflow []resolution // done beyond the window at insert time, seq order
+	ovMin    int64        // min done in overflow; valid while len > 0
+
+	arena []resolution // chunked backing for first-touch bucket storage
+}
+
+func newCalQueue() calQueue {
+	return calQueue{buckets: make([][]resolution, calWindow)}
+}
+
+// Bucket storage is carved lazily out of chunked arenas: a slot's first entry
+// grabs a fixed-capacity piece of the current chunk, so steady-state inserts
+// never touch the allocator (the whole window costs a handful of chunk
+// allocations rather than one per bucket) while storage stays packed in
+// first-touch order. A bucket that outgrows its piece reallocates once via
+// append and keeps the larger capacity across drains (drain resets to b[:0]).
+const (
+	bucketCap         = 4
+	arenaChunkBuckets = 256
+)
+
+func (q *calQueue) grab() []resolution {
+	if len(q.arena) < bucketCap {
+		q.arena = make([]resolution, arenaChunkBuckets*bucketCap)
+	}
+	b := q.arena[0:0:bucketCap]
+	q.arena = q.arena[bucketCap:]
+	return b
+}
+
+// put appends r to its slot, wiring never-touched slots to arena storage.
+func (q *calQueue) put(slot int64, r resolution) {
+	b := q.buckets[slot]
+	if cap(b) == 0 {
+		b = q.grab()
+	}
+	q.buckets[slot] = append(b, r)
+}
+
+// len returns the number of pending resolutions (buckets plus overflow).
+func (q *calQueue) len() int { return q.count + len(q.overflow) }
+
+// insert schedules r. The core only inserts events strictly in the future
+// (r.done > current cycle >= base-1).
+func (q *calQueue) insert(r resolution) {
+	if r.done-q.base >= calWindow {
+		if len(q.overflow) == 0 || r.done < q.ovMin {
+			q.ovMin = r.done
+		}
+		q.overflow = append(q.overflow, r)
+		return
+	}
+	q.put(r.done&calMask, r)
+	q.count++
+	if r.done < q.scanFrom {
+		q.scanFrom = r.done
+	}
+}
+
+// drain calls fn on every entry due at or before cycle, in (done, seq)
+// order, then advances the window and migrates newly reachable overflow
+// entries. fn must not insert (the core resolves branches here; inserts only
+// happen at allocation).
+func (q *calQueue) drain(cycle int64, fn func(*resolution)) {
+	if q.count > 0 {
+		start := q.base
+		if q.scanFrom > start {
+			// Slots before scanFrom are provably empty; after a fast-forward
+			// jump this skips the whole idle stretch in one step.
+			start = q.scanFrom
+		}
+		for d := start; d <= cycle; d++ {
+			slot := d & calMask
+			b := q.buckets[slot]
+			if len(b) == 0 {
+				continue
+			}
+			q.buckets[slot] = b[:0]
+			q.count -= len(b)
+			for i := range b {
+				fn(&b[i])
+			}
+		}
+	}
+	q.base = cycle + 1
+	if q.scanFrom < q.base {
+		q.scanFrom = q.base
+	}
+	if len(q.overflow) > 0 && q.ovMin-q.base < calWindow {
+		q.migrate()
+	}
+}
+
+// migrate moves every overflow entry the window now covers into its bucket,
+// compacting the rest in place (preserving seq order).
+func (q *calQueue) migrate() {
+	keep := q.overflow[:0]
+	newMin := int64(1) << 62
+	for _, r := range q.overflow {
+		if r.done-q.base < calWindow {
+			q.put(r.done&calMask, r)
+			q.count++
+			if r.done < q.scanFrom {
+				q.scanFrom = r.done
+			}
+		} else {
+			keep = append(keep, r)
+			if r.done < newMin {
+				newMin = r.done
+			}
+		}
+	}
+	q.overflow = keep
+	q.ovMin = newMin
+}
+
+// each calls fn for every pending resolution in unspecified order (the
+// auditor's read-only cross-check).
+func (q *calQueue) each(fn func(*resolution)) {
+	if q.count > 0 {
+		for slot := range q.buckets {
+			b := q.buckets[slot]
+			for i := range b {
+				fn(&b[i])
+			}
+		}
+	}
+	for i := range q.overflow {
+		fn(&q.overflow[i])
+	}
+}
+
+// nextDue returns the earliest pending resolve cycle. The second result is
+// false when the queue is empty. When any bucket entry is live it is the
+// global minimum (overflow entries are always beyond the bucket window), so
+// the forward scan from scanFrom is exact; otherwise the overflow minimum
+// decides.
+func (q *calQueue) nextDue() (int64, bool) {
+	if q.count > 0 {
+		d := q.scanFrom
+		if d < q.base {
+			d = q.base
+		}
+		for ; ; d++ {
+			if len(q.buckets[d&calMask]) > 0 {
+				q.scanFrom = d
+				return d, true
+			}
+		}
+	}
+	if len(q.overflow) > 0 {
+		return q.ovMin, true
+	}
+	return 0, false
+}

@@ -71,6 +71,14 @@ type Config struct {
 	// StallError and a pipeline dump. 0 selects DefaultStallCycles.
 	StallCycles int64
 
+	// DisableFastForward forces the cycle loop to iterate every cycle
+	// instead of jumping over provably idle windows (see fastforward.go).
+	// The skip is exact — results are bit-identical either way — so this
+	// exists only for differential testing and micro-benchmarking of the
+	// plain loop. Attaching an Audit also disables the fast-forward, since
+	// the auditor's periodic scans are cycle-driven.
+	DisableFastForward bool
+
 	// Audit, when non-nil, enables the integrity auditor's core-loop checks
 	// (retire monotonicity, ROB age ordering, occupancy bounds, resolution
 	// consistency) in addition to the always-on structural invariants. The

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"localbp/internal/audit"
@@ -33,7 +32,8 @@ type fetchSlot struct {
 	streamPos int
 }
 
-// resolution is a pending branch-execution event.
+// resolution is a pending branch-execution event. Pending resolutions live in
+// a calQueue (see calendar.go) and pop in (done, seq) ascending order.
 type resolution struct {
 	done int64
 	seq  uint64
@@ -41,31 +41,17 @@ type resolution struct {
 	rec  *bpu.BranchRec
 }
 
-type resolutionHeap []resolution
-
-func (h resolutionHeap) Len() int { return len(h) }
-func (h resolutionHeap) Less(i, j int) bool {
-	if h[i].done != h[j].done {
-		return h[i].done < h[j].done
-	}
-	return h[i].seq < h[j].seq
-}
-func (h resolutionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *resolutionHeap) Push(x any)   { *h = append(*h, x.(resolution)) }
-func (h *resolutionHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
-}
-
-// resource models a bank of units (FUs, load/store buffer slots) as a ring
-// of next-free cycles; allocation round-robins and returns the earliest
-// start cycle at or after `at`.
+// resource models a bank of units (FUs, load/store buffer slots) as a
+// binary min-heap of next-free cycles; allocation picks the earliest-free
+// unit and returns the earliest start cycle at or after `at`.
+//
+// Units are interchangeable — everything observable (take's start cycle,
+// allBusy, minFree) is a function of the multiset of free cycles, never of
+// which unit carries which cycle — so the heap's internal reordering is
+// bit-identical to a linear min scan while costing O(log n) on the 72-entry
+// load buffer instead of O(n).
 type resource struct {
 	free []int64
-	pos  int
 }
 
 func newResource(n int) *resource { return &resource{free: make([]int64, n)} }
@@ -73,18 +59,34 @@ func newResource(n int) *resource { return &resource{free: make([]int64, n)} }
 // take reserves a unit from cycle `at` for `dur` cycles and returns the
 // actual start (>= at, delayed if all units busy).
 func (r *resource) take(at, dur int64) int64 {
-	best, bestIdx := r.free[0], 0
-	for i, f := range r.free {
-		if f < best {
-			best, bestIdx = f, i
-		}
-	}
 	start := at
-	if best > start {
-		start = best
+	if f := r.free[0]; f > start {
+		start = f
 	}
-	r.free[bestIdx] = start + dur
+	r.replaceMin(start + dur)
 	return start
+}
+
+// replaceMin overwrites the heap minimum with v and restores heap order.
+// v is always >= the displaced minimum, so a single sift-down suffices.
+func (r *resource) replaceMin(v int64) {
+	f := r.free
+	i := 0
+	for {
+		k := 2*i + 1
+		if k >= len(f) {
+			break
+		}
+		if k+1 < len(f) && f[k+1] < f[k] {
+			k++
+		}
+		if f[k] >= v {
+			break
+		}
+		f[i] = f[k]
+		i = k
+	}
+	f[i] = v
 }
 
 // Core is one simulated out-of-order core.
@@ -107,7 +109,7 @@ type Core struct {
 	fqTail  int
 	fqCount int
 
-	resolutions resolutionHeap
+	resolutions calQueue
 
 	regReady [trace.NumRegs]int64
 
@@ -125,8 +127,10 @@ type Core struct {
 	fetchHoldTo int64 // fetch stalled until this cycle (resteer penalty)
 	wrongLeft   int   // wrong-path budget for this divergence
 
-	// Wrong-path synthesizer: ring of recent real instructions.
-	recent    []trace.Inst
+	// Wrong-path synthesizer: fixed ring of recent real instructions (no
+	// heap allocation; wpWindow is its capacity).
+	recent    [wpWindow]trace.Inst
+	recentLen int
 	recentPos int
 	wpCursor  int
 
@@ -171,21 +175,26 @@ func (c *Core) DebugAllocStalls() (int64, int64, int64, float64) {
 // New builds a core over the given program with the given prediction unit.
 func New(cfg Config, unit *bpu.Unit, prog []trace.Inst) *Core {
 	c := &Core{
-		cfg:     cfg,
-		unit:    unit,
-		mem:     mem.New(cfg.Mem),
-		prog:    prog,
-		rob:     make([]robEntry, cfg.ROBSize),
-		fetchQ:  make([]fetchSlot, cfg.AllocQueue),
-		alus:    newResource(cfg.ALUs),
-		muls:    newResource(cfg.Muls),
-		fps:     newResource(cfg.FPs),
-		ldPorts: newResource(cfg.LoadPorts),
-		stPorts: newResource(cfg.StorePorts),
-		ldBuf:   newResource(cfg.LoadBuffer),
-		stBuf:   newResource(cfg.StoreBuffer),
-		recent:  make([]trace.Inst, 0, 256),
+		cfg:         cfg,
+		unit:        unit,
+		mem:         mem.New(cfg.Mem),
+		prog:        prog,
+		rob:         make([]robEntry, cfg.ROBSize),
+		fetchQ:      make([]fetchSlot, cfg.AllocQueue),
+		resolutions: newCalQueue(),
+		alus:        newResource(cfg.ALUs),
+		muls:        newResource(cfg.Muls),
+		fps:         newResource(cfg.FPs),
+		ldPorts:     newResource(cfg.LoadPorts),
+		stPorts:     newResource(cfg.StorePorts),
+		ldBuf:       newResource(cfg.LoadBuffer),
+		stBuf:       newResource(cfg.StoreBuffer),
 	}
+	// Pre-size the branch-record pool for the worst-case in-flight branch
+	// population (alloc queue + ROB, plus slack for records awaiting a
+	// squashed resolution) so the steady-state GetRec/PutRec cycle and the
+	// TAGE checkpoint saves never allocate.
+	unit.Prealloc(cfg.AllocQueue + cfg.ROBSize + 64)
 	if cfg.BTB.Entries > 0 {
 		c.btb = btb.New(cfg.BTB)
 	}
@@ -282,7 +291,25 @@ func (c *Core) RunChecked() (Stats, error) {
 	}
 	lastRetireCycle := int64(0)
 	lastInsts := c.stats.Insts
+	// Idle-cycle fast-forward: when no event can land before cycle X, jump
+	// the clock there in one step instead of iterating empty cycles. The
+	// skip is exact — counters, CPI attribution and watchdog behavior are
+	// bit-identical to the cycle-by-cycle run (see fastforward.go). The
+	// auditor's periodic scans are cycle-driven, so auditing disables it.
+	ff := c.cfg.Audit == nil && !c.cfg.DisableFastForward
 	for c.pos < len(c.prog) || c.robLen() > 0 || c.fqCount > 0 {
+		if ff {
+			// The watchdogs fire at the end of the iteration that starts at
+			// limit; clamp the jump so that iteration still runs live.
+			limit := lastRetireCycle + deadman - 1
+			if budget-1 < limit {
+				limit = budget - 1
+			}
+			if x := c.idleUntil(limit); x > c.cycle {
+				c.skipIdle(x - c.cycle)
+				continue
+			}
+		}
 		prevInsts := c.stats.Insts
 		c.stepResolutions()
 		c.stepRetire()
@@ -384,7 +411,7 @@ func (c *Core) violation(pc uint64, invariant, detail string) {
 func (c *Core) auditScan() {
 	a := c.cfg.Audit
 	n := c.robLen()
-	a.Note(3 + 2*n + len(c.resolutions))
+	a.Note(3 + 2*n + c.resolutions.len())
 	if n < 0 || n > len(c.rob) || c.fqCount < 0 || c.fqCount > len(c.fetchQ) {
 		c.violation(0, audit.InvOccupancy, fmt.Sprintf(
 			"  rob occupancy %d/%d, alloc-queue occupancy %d/%d", n, len(c.rob), c.fqCount, len(c.fetchQ)))
@@ -411,11 +438,11 @@ func (c *Core) auditScan() {
 		}
 	}
 	pending := 0
-	for i := range c.resolutions {
-		if !c.resolutions[i].rec.Squashed {
+	c.resolutions.each(func(r *resolution) {
+		if !r.rec.Squashed {
 			pending++
 		}
-	}
+	})
 	if pending != unresolved {
 		c.violation(0, audit.InvResolutions, fmt.Sprintf(
 			"  %d live pending resolutions vs %d unresolved real-path branches in the ROB",
@@ -455,14 +482,10 @@ func (c *Core) classifyCycle(retired bool) obs.CPIBucket {
 	return obs.CPIAllocStall
 }
 
-// allBusy reports whether every unit of r is reserved past cycle.
+// allBusy reports whether every unit of r is reserved past cycle (the heap
+// minimum is the earliest-free unit).
 func allBusy(r *resource, cycle int64) bool {
-	for _, f := range r.free {
-		if f <= cycle {
-			return false
-		}
-	}
-	return true
+	return r.free[0] > cycle
 }
 
 // noteResteer extends the front-end-resteer attribution window: after a
@@ -476,27 +499,29 @@ func (c *Core) noteResteer() {
 
 // stepResolutions processes branch executions due this cycle, oldest first.
 func (c *Core) stepResolutions() {
-	for len(c.resolutions) > 0 && c.resolutions[0].done <= c.cycle {
-		r := heap.Pop(&c.resolutions).(resolution)
-		rec := r.rec
-		rec.InFlight = false
-		if rec.Squashed {
-			c.unit.PutRec(rec)
-			continue
-		}
-		e := c.robAt(r.rob)
-		misp := c.unit.Resolve(rec, c.cycle)
-		e.resolved = true
-		if c.btb != nil && rec.Ctx.ActualTaken {
-			c.btb.Insert(rec.Ctx.PC, 0)
-		}
-		if rec.TagePred != rec.Ctx.ActualTaken {
-			c.stats.TageMispredicts++
-		}
-		if misp {
-			c.stats.Mispredicts++
-			c.handleMispredict(r.rob, e)
-		}
+	c.resolutions.drain(c.cycle, c.resolveOne)
+}
+
+// resolveOne handles a single due resolution (the calQueue drain callback).
+func (c *Core) resolveOne(r *resolution) {
+	rec := r.rec
+	rec.InFlight = false
+	if rec.Squashed {
+		c.unit.PutRec(rec)
+		return
+	}
+	e := c.robAt(r.rob)
+	misp := c.unit.Resolve(rec, c.cycle)
+	e.resolved = true
+	if c.btb != nil && rec.Ctx.ActualTaken {
+		c.btb.Insert(rec.Ctx.PC, 0)
+	}
+	if rec.TagePred != rec.Ctx.ActualTaken {
+		c.stats.TageMispredicts++
+	}
+	if misp {
+		c.stats.Mispredicts++
+		c.handleMispredict(r.rob, e)
 	}
 }
 
@@ -642,7 +667,7 @@ func (c *Core) stepAlloc() {
 				c.handleEarlyResteer(e, s.rec)
 			}
 			s.rec.InFlight = true
-			heap.Push(&c.resolutions, resolution{done: done, seq: e.seq, rob: abs, rec: s.rec})
+			c.resolutions.insert(resolution{done: done, seq: e.seq, rob: abs, rec: s.rec})
 		}
 	}
 }
@@ -790,24 +815,28 @@ func (c *Core) nextBranchSeq() uint64 {
 	return c.seqBr
 }
 
+// wpWindow is the wrong-path synthesizer's recent-instruction window size.
+const wpWindow = 256
+
 // noteRecent records a real instruction for the wrong-path synthesizer.
 func (c *Core) noteRecent(in trace.Inst) {
-	if len(c.recent) < cap(c.recent) {
-		c.recent = append(c.recent, in)
+	if c.recentLen < wpWindow {
+		c.recent[c.recentLen] = in
+		c.recentLen++
 		return
 	}
 	c.recent[c.recentPos] = in
-	c.recentPos = (c.recentPos + 1) % len(c.recent)
+	c.recentPos = (c.recentPos + 1) % wpWindow
 }
 
 // nextWrongPath synthesizes a wrong-path instruction by replaying the recent
 // real-instruction window offset by half its length: plausible PCs (so BHT
 // and GHIST pollution is realistic) on a path the core will flush.
 func (c *Core) nextWrongPath() trace.Inst {
-	if len(c.recent) == 0 {
+	if c.recentLen == 0 {
 		return trace.Inst{PC: 0xdead000, Class: trace.ClassALU}
 	}
-	idx := (c.recentPos + len(c.recent)/2 + c.wpCursor) % len(c.recent)
+	idx := (c.recentPos + c.recentLen/2 + c.wpCursor) % c.recentLen
 	c.wpCursor++
 	in := c.recent[idx]
 	if in.IsBranch() {

@@ -42,9 +42,9 @@ func (c *Core) dumpState() string {
 		fmt.Fprintf(&b, "  rob head:    seq=%d class=%s done=%d branch=%v resolved=%v wrongPath=%v\n",
 			e.seq, e.class, e.done, e.isBranch, e.resolved, e.wrongPath)
 	}
-	fmt.Fprintf(&b, "  resolutions: %d pending", len(c.resolutions))
-	if len(c.resolutions) > 0 {
-		fmt.Fprintf(&b, " (next due cycle %d)", c.resolutions[0].done)
+	fmt.Fprintf(&b, "  resolutions: %d pending", c.resolutions.len())
+	if d, ok := c.resolutions.nextDue(); ok {
+		fmt.Fprintf(&b, " (next due cycle %d)", d)
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "  stats:       insts=%d branches=%d mispredicts=%d flushes=%d\n",

@@ -327,11 +327,15 @@ type traceEntry struct {
 }
 
 // TraceCache memoizes generated workload traces across configurations so a
-// sweep generates each (workload, insts) pair once. It is safe for
-// concurrent use by multiple goroutines.
+// sweep generates each (workload, insts) pair once, and recycles released
+// trace buffers so sequential single-use patterns (generate, simulate,
+// release, next workload) reuse one flat []trace.Inst chunk instead of
+// allocating per workload. It is safe for concurrent use by multiple
+// goroutines.
 type TraceCache struct {
 	mu      sync.Mutex
 	entries map[traceKey]*traceEntry
+	spare   [][]trace.Inst // released generation buffers, ready for reuse
 }
 
 // NewTraceCache returns an empty cache.
@@ -339,8 +343,21 @@ func NewTraceCache() *TraceCache {
 	return &TraceCache{entries: map[traceKey]*traceEntry{}}
 }
 
+// takeSpare pops a recycled generation buffer (nil when none is parked).
+func (tc *TraceCache) takeSpare() []trace.Inst {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if n := len(tc.spare); n > 0 {
+		buf := tc.spare[n-1]
+		tc.spare = tc.spare[:n-1]
+		return buf
+	}
+	return nil
+}
+
 // Get returns the trace for w at n instructions, generating and validating
-// it on first use. Concurrent callers for the same key share one
+// it on first use. Generation decodes into a recycled buffer when one is
+// available (see Release). Concurrent callers for the same key share one
 // generation; different keys generate in parallel.
 func (tc *TraceCache) Get(w workloads.Workload, n int) ([]trace.Inst, error) {
 	k := traceKey{name: w.Name, insts: n}
@@ -356,7 +373,7 @@ func (tc *TraceCache) Get(w workloads.Workload, n int) ([]trace.Inst, error) {
 			e.err = fmt.Errorf("trace length: got %d instructions, want > 0", n)
 			return
 		}
-		tr := w.Generate(n)
+		tr := w.GenerateInto(tc.takeSpare(), n)
 		if err := trace.Validate(tr); err != nil {
 			e.err = err
 			return
@@ -364,4 +381,30 @@ func (tc *TraceCache) Get(w workloads.Workload, n int) ([]trace.Inst, error) {
 		e.tr = tr
 	})
 	return e.tr, e.err
+}
+
+// Release evicts the cached trace for w at n instructions and parks its
+// buffer for reuse by a later generation. Only call it when no simulation
+// still holds the slice returned by Get — the next Get for any workload may
+// overwrite its contents in place.
+func (tc *TraceCache) Release(w workloads.Workload, n int) {
+	k := traceKey{name: w.Name, insts: n}
+	tc.mu.Lock()
+	e, ok := tc.entries[k]
+	if ok {
+		delete(tc.entries, k)
+	}
+	tc.mu.Unlock()
+	if !ok {
+		return
+	}
+	// Synchronize with a concurrent generation: Do blocks until the first
+	// call completes, establishing the happens-before for reading e.tr.
+	e.once.Do(func() {})
+	if e.tr == nil {
+		return
+	}
+	tc.mu.Lock()
+	tc.spare = append(tc.spare, e.tr[:0])
+	tc.mu.Unlock()
 }

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"localbp/internal/workloads"
+)
+
+// TestTraceCacheReleaseRecyclesBuffer checks the release/reuse cycle: after
+// Release, the next generation writes into the parked chunk (no fresh
+// allocation) and still produces the exact stream.
+func TestTraceCacheReleaseRecyclesBuffer(t *testing.T) {
+	ws := workloads.QuickSuite()
+	if len(ws) < 2 {
+		t.Skip("need two workloads")
+	}
+	a, b := ws[0], ws[1]
+	const n = 4_000
+
+	tc := NewTraceCache()
+	trA, err := tc.Get(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &trA[0]
+	tc.Release(a, n)
+
+	trB, err := tc.Get(b, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &trB[0] != base {
+		t.Fatalf("generation after Release did not reuse the parked buffer")
+	}
+	if want := b.Generate(n); !reflect.DeepEqual(trB, want) {
+		t.Fatalf("recycled-buffer trace differs from fresh generation")
+	}
+
+	// A second Get for b hits the memo without regenerating.
+	trB2, err := tc.Get(b, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &trB2[0] != &trB[0] {
+		t.Fatalf("cache hit returned a different buffer")
+	}
+
+	// Releasing an absent key is a no-op.
+	tc.Release(a, n)
+}

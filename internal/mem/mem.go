@@ -157,21 +157,32 @@ func (h *Hierarchy) MPKIBase() float64 {
 	return float64(h.statL1Miss) / float64(h.statAccesses)
 }
 
-type cacheLine struct {
-	tag   uint64
-	valid bool
-	lru   uint8
-	// pref marks a line brought in by a prefetcher that no demand access has
-	// touched yet; the first demand hit clears it and counts a prefetch hit.
-	pref bool
-}
+// invalidTag marks an empty way. No real tag can collide with it: a tag is
+// addr >> (lineBits + tagShift), so even a full 64-bit address leaves the top
+// lineBits+tagShift bits clear and every real tag is far below 1<<63.
+const invalidTag = uint64(1) << 63
 
+// The per-way state is split into parallel arrays (tags / stamp / pref)
+// rather than an array of structs: probes and fills scan only the tag array
+// — one cache line covers 8 ways instead of two.
+//
+// LRU is kept as a per-way last-touch timestamp drawn from a per-cache
+// clock instead of a per-set rank permutation: a touch is one store rather
+// than a walk over all ways, and because stamps are unique within a set the
+// recency ORDER — the only thing victim selection reads — is exactly the
+// order the rank permutation encoded. Eviction decisions are bit-identical.
 type cache struct {
 	cfg      Config
 	sets     int
 	setMask  uint64
 	lineBits uint
-	lines    []cacheLine
+	tagShift uint // log2(sets), precomputed: index() runs on every probe
+	tags     []uint64
+	stamp    []uint64 // last-touch time per way; lower = older
+	clock    uint64   // touch counter; always above every live stamp
+	// pref marks a line brought in by a prefetcher that no demand access has
+	// touched yet; the first demand hit clears it and counts a prefetch hit.
+	pref []bool
 
 	// stride prefetcher state: last miss line and stride per cache.
 	lastMiss   uint64
@@ -181,6 +192,17 @@ type cache struct {
 	// predecessor line is present marks an active stream.
 	recentLines [8]uint64
 	recentPos   int
+
+	// inserts counts lines actually written by fillInto. Presence is
+	// monotone between inserts (nothing else evicts), which is what lets
+	// streamDetect skip provably redundant re-prefetches.
+	inserts uint64
+
+	// streamDetect memo (used on the L1 only): the last line whose stream
+	// prefetches were issued and the hierarchy-wide insert count right
+	// after. While both match, the same prefetches would all no-op.
+	lastStreamLine    uint64
+	lastStreamInserts uint64
 }
 
 func newCache(cfg Config) *cache {
@@ -198,12 +220,23 @@ func newCache(cfg Config) *cache {
 		sets:     sets,
 		setMask:  uint64(sets - 1),
 		lineBits: lb,
-		lines:    make([]cacheLine, lines),
+		tagShift: log2i(sets),
+		tags:     make([]uint64, lines),
+		stamp:    make([]uint64, lines),
+		pref:     make([]bool, lines),
+		// No real line number reaches 1<<63 (lines are addr>>lineBits), so
+		// the memo can never match before its first genuine assignment.
+		lastStreamLine: uint64(1) << 63,
+		// First touch stamps ways; the initial per-set recency order (way 0
+		// newest … way Ways-1 oldest) sits below it.
+		clock: uint64(cfg.Ways),
 	}
-	// Establish the LRU rank permutation (0..ways-1) per set.
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
 	for s := 0; s < sets; s++ {
 		for w := 0; w < cfg.Ways; w++ {
-			c.lines[s*cfg.Ways+w].lru = uint8(w)
+			c.stamp[s*cfg.Ways+w] = uint64(cfg.Ways - 1 - w)
 		}
 	}
 	return c
@@ -211,7 +244,7 @@ func newCache(cfg Config) *cache {
 
 func (c *cache) index(addr uint64) (base int, tag uint64) {
 	line := addr >> c.lineBits
-	return int(line&c.setMask) * c.cfg.Ways, line >> uint(log2i(c.sets))
+	return int(line&c.setMask) * c.cfg.Ways, line >> c.tagShift
 }
 
 func log2i(n int) uint {
@@ -228,11 +261,10 @@ func log2i(n int) uint {
 func (c *cache) access(addr uint64) (hit, wasPref bool) {
 	base, tag := c.index(addr)
 	for w := 0; w < c.cfg.Ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
+		if c.tags[base+w] == tag {
 			c.touch(base, w)
-			wasPref = l.pref
-			l.pref = false
+			wasPref = c.pref[base+w]
+			c.pref[base+w] = false
 			return true, wasPref
 		}
 	}
@@ -240,13 +272,8 @@ func (c *cache) access(addr uint64) (hit, wasPref bool) {
 }
 
 func (c *cache) touch(base, way int) {
-	old := c.lines[base+way].lru
-	for w := 0; w < c.cfg.Ways; w++ {
-		if l := &c.lines[base+w]; l.lru < old {
-			l.lru++
-		}
-	}
-	c.lines[base+way].lru = 0
+	c.clock++
+	c.stamp[base+way] = c.clock
 }
 
 // fill inserts addr's line on demand, evicting LRU.
@@ -259,22 +286,22 @@ func (c *cache) fillInto(addr uint64, pref bool) {
 	base, tag := c.index(addr)
 	victim := 0
 	for w := 0; w < c.cfg.Ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
+		t := c.tags[base+w]
+		if t == tag {
 			return
 		}
-		if !l.valid {
+		if t == invalidTag {
 			victim = w
 			break
 		}
-		if l.lru > c.lines[base+victim].lru {
+		if c.stamp[base+w] < c.stamp[base+victim] {
 			victim = w
 		}
 	}
-	// Preserve the victim's rank so the set keeps a valid LRU
-	// permutation, then promote the fresh line to MRU.
-	c.lines[base+victim] = cacheLine{tag: tag, valid: true, lru: c.lines[base+victim].lru, pref: pref}
-	c.touch(base, victim)
+	c.tags[base+victim] = tag
+	c.pref[base+victim] = pref
+	c.inserts++
+	c.touch(base, victim) // promote the fresh line to MRU
 }
 
 // prefetch issues stride-directed prefetches after a miss at this level.
@@ -322,12 +349,23 @@ func (c *cache) streamDetect(addr uint64, h *Hierarchy) {
 	if !hit {
 		return
 	}
+	// Sequential walks touch the same 64-byte line several times. After the
+	// first trigger, lines line+1..line+3 are present at every level, and
+	// they stay present as long as no insert has evicted anything — so with
+	// the insert count unchanged, every fillPref below would early-return
+	// and skipping them is exact.
+	total := h.l1.inserts + h.l2.inserts + h.llc.inserts
+	if line == c.lastStreamLine && total == c.lastStreamInserts {
+		return
+	}
 	for d := uint64(1); d <= 3; d++ {
 		a := (line + d) << c.lineBits
 		h.l1.fillPref(a)
 		h.l2.fillPref(a)
 		h.llc.fillPref(a)
 	}
+	c.lastStreamLine = line
+	c.lastStreamInserts = h.l1.inserts + h.l2.inserts + h.llc.inserts
 }
 
 func abs64(v int64) int64 {

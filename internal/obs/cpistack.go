@@ -65,6 +65,12 @@ func NewCPIStack() *CPIStack { return &CPIStack{} }
 // Add attributes one cycle to bucket b.
 func (s *CPIStack) Add(b CPIBucket) { s.counts[b]++ }
 
+// AddN attributes n cycles to bucket b in one step. The core's idle-cycle
+// fast-forward uses it to account a whole skipped window at once; the
+// attribution is exact because the fast-forward clamps the window so the
+// classification cannot change inside it.
+func (s *CPIStack) AddN(b CPIBucket, n int64) { s.counts[b] += n }
+
 // Count returns the cycles attributed to bucket b.
 func (s *CPIStack) Count(b CPIBucket) int64 { return s.counts[b] }
 

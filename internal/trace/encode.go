@@ -51,7 +51,12 @@ func WriteTrace(w io.Writer, tr []Inst) error {
 }
 
 // ReadTrace deserializes a trace written by WriteTrace.
-func ReadTrace(r io.Reader) ([]Inst, error) {
+func ReadTrace(r io.Reader) ([]Inst, error) { return ReadTraceInto(nil, r) }
+
+// ReadTraceInto is ReadTrace decoding into dst's storage: when dst has
+// capacity for the stored record count no allocation happens. The returned
+// slice aliases dst's array when capacity sufficed.
+func ReadTraceInto(dst []Inst, r io.Reader) ([]Inst, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -64,7 +69,13 @@ func ReadTrace(r io.Reader) ([]Inst, error) {
 		return nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[8:]))
-	tr := make([]Inst, n)
+	var tr []Inst
+	if cap(dst) >= n {
+		tr = dst[:n]
+		clear(tr)
+	} else {
+		tr = make([]Inst, n)
+	}
 	var rec [recordSize]byte
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {

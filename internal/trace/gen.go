@@ -180,6 +180,15 @@ func b2u(b bool) uint64 {
 // Generate runs the program until n instructions have been emitted,
 // returning the dynamic stream. Generation is deterministic in seed.
 func Generate(p Program, n int, seed int64) []Inst {
+	return GenerateInto(nil, p, n, seed)
+}
+
+// GenerateInto is Generate writing into dst's storage: when dst has capacity
+// for the stream (plus emission slack) no allocation happens, so callers that
+// generate many traces of similar length can recycle one flat chunk. The
+// returned slice aliases dst's array when capacity sufficed; the produced
+// stream is bit-identical to Generate's regardless.
+func GenerateInto(dst []Inst, p Program, n int, seed int64) []Inst {
 	if n <= 0 {
 		return nil
 	}
@@ -195,8 +204,14 @@ func Generate(p Program, n int, seed int64) []Inst {
 	if indep == 0 {
 		indep = 0.75
 	}
+	// Regions emit past the budget before Done is checked; keep the same
+	// slack Generate always used so the tail never reallocates.
+	out := dst[:0]
+	if cap(out) < n+64 {
+		out = make([]Inst, 0, n+64)
+	}
 	e := &Emitter{
-		out:     make([]Inst, 0, n+64),
+		out:     out,
 		rng:     NewRNG(seed),
 		limit:   n,
 		prof:    prof,

@@ -97,8 +97,15 @@ type Workload struct {
 // Generate builds the workload's dynamic instruction stream of n
 // instructions. Generation is deterministic in the workload seed.
 func (w Workload) Generate(n int) []trace.Inst {
+	return w.GenerateInto(nil, n)
+}
+
+// GenerateInto is Generate writing into dst's storage (see
+// trace.GenerateInto): recycling one flat chunk across workloads avoids a
+// per-trace allocation. The stream is bit-identical to Generate's.
+func (w Workload) GenerateInto(dst []trace.Inst, n int) []trace.Inst {
 	prog := BuildProgram(w.Profile, w.Seed)
-	return trace.Generate(prog, n, w.Seed^0x5bd1e995)
+	return trace.GenerateInto(dst, prog, n, w.Seed^0x5bd1e995)
 }
 
 // SiteKind classifies a branch site for analysis tooling.

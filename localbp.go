@@ -200,6 +200,8 @@ const (
 	CPIROBFull         = obs.CPIROBFull
 	CPILSQFull         = obs.CPILSQFull
 	CPIAllocStall      = obs.CPIAllocStall
+	// NumCPIBuckets is the bucket count; valid buckets are < NumCPIBuckets.
+	NumCPIBuckets = obs.NumCPIBuckets
 )
 
 // Event kinds emitted by the tracer.
