@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race audit bench-json bench-pr5 bench-compare fuzz-smoke
+.PHONY: check build vet test race audit bench-json bench-pr5 bench-compare fuzz-smoke ci stress
 
 # check is the CI gate: static analysis plus the full suite under the race
 # detector (the parallel sweep runner is on by default).
@@ -51,3 +51,20 @@ bench-compare:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoopPredictor -fuzztime=10s ./internal/bpu/loop
 	$(GO) test -fuzz=FuzzTAGE -fuzztime=10s ./internal/bpu/tage
+
+# ci is the one-command pipeline: build, static analysis + alloc guards, the
+# full suite under the race detector, a fuzz smoke, and a quick
+# bench-compare exercise: fresh numbers are measured and run through the
+# regression gate end-to-end (self-compare — cross-machine ns/op gating
+# belongs in `make bench-compare` against a locally pinned baseline).
+ci: build vet race fuzz-smoke
+	$(GO) run ./cmd/lbpbench -insts 60000 -out BENCH_ci.json
+	$(GO) run ./cmd/lbpbench -compare -old BENCH_ci.json -new BENCH_ci.json
+	rm -f BENCH_ci.json
+
+# stress loops the SIGINT crash-safety subprocess test under the race
+# detector: interrupt a live sweep, verify the checkpoint, resume, verify
+# zero lost or duplicated results. N controls the iteration count.
+N ?= 5
+stress:
+	$(GO) test -race -run TestSweepSIGINTResume -count=$(N) -v ./cmd/lbpsweep

@@ -12,6 +12,7 @@ package localbp
 // bottom quantify the design choices DESIGN.md §7 calls out.
 
 import (
+	"context"
 	"testing"
 
 	"localbp/internal/bpu/loop"
@@ -37,7 +38,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		out, err := e.Run(r)
+		out, err := e.Run(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -19,12 +19,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"localbp"
+	"localbp/internal/service"
 )
 
 type entry struct {
@@ -126,17 +128,13 @@ func main() {
 		},
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(b); err != nil {
-		f.Close()
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	// Atomic write: a crash mid-encode cannot corrupt a pinned baseline that
+	// compare mode would later trust.
+	if err := service.AtomicWriteFile(*out, func(f io.Writer) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(b)
+	}); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)

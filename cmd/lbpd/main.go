@@ -1,0 +1,106 @@
+// Command lbpd is a minimal simulation daemon: it accepts branch-predictor
+// simulation jobs over HTTP, executes them on a bounded worker pool with
+// per-job timeouts and classified retry, and drains gracefully on
+// SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	lbpd [-addr :8090] [-workers N] [-queue N] [-job-timeout D] [-retries N] [-drain-grace D]
+//
+// API:
+//
+//	POST /jobs             {"workload": "...", "scheme": "...", "insts": N,
+//	                        "seed": N?, "timeout_sec": S?} → 202 {"id": "job-0001"}
+//	GET  /jobs             all jobs, submission order
+//	GET  /jobs/{id}        one job's state (queued/running/done/failed/canceled)
+//	GET  /jobs/{id}/result the finished job's Result (409 while pending)
+//	GET  /healthz          {"ok": true, "draining": bool, "queued": N}
+//
+// Shutdown: on the first SIGINT/SIGTERM the HTTP listener stops accepting
+// new connections and submissions are rejected with 503; queued and
+// in-flight jobs get -drain-grace to finish, after which the remaining jobs
+// are canceled (their state reports "canceled"). A second signal kills the
+// process immediately. Exit code 0 after a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"localbp/internal/service"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":8090", "HTTP listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job executors")
+	queue := flag.Int("queue", 64, "pending-job queue depth (submissions beyond it fail fast)")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "wall-clock cap per job including retries (0 = none)")
+	retries := flag.Int("retries", 2, "retry budget for transiently failed jobs")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for jobs before canceling them")
+	flag.Parse()
+
+	policy := service.DefaultRetryPolicy()
+	policy.MaxAttempts = *retries + 1
+
+	d := service.NewDaemon(service.DaemonConfig{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		DrainGrace: *drainGrace,
+		Retry:      policy,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: *addr, Handler: d.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.ListenAndServe() }()
+
+	daemonDone := make(chan struct{})
+	go func() { d.Run(ctx); close(daemonDone) }()
+
+	fmt.Fprintf(os.Stderr, "lbpd: listening on %s (%d workers, queue %d)\n", *addr, *workers, *queue)
+
+	select {
+	case err := <-httpErr:
+		// The listener died before any shutdown signal: configuration error.
+		fmt.Fprintf(os.Stderr, "lbpd: %v\n", err)
+		return 2
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "lbpd: shutting down: draining jobs (second signal kills immediately)")
+
+	// Stop accepting connections, bounded by the drain grace plus slack for
+	// in-flight responses; the worker pool drains in parallel.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "lbpd: http shutdown: %v\n", err)
+	}
+	<-daemonDone
+
+	canceled := 0
+	for _, j := range d.Jobs() {
+		if j.State == service.JobCanceled {
+			canceled++
+		}
+	}
+	if canceled > 0 {
+		fmt.Fprintf(os.Stderr, "lbpd: drained with %d job(s) canceled past the grace period\n", canceled)
+		return 4
+	}
+	fmt.Fprintln(os.Stderr, "lbpd: drained cleanly")
+	return 0
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lbpsim [-insts N] [-workload name] [-scheme name] [-seed N]
+//	lbpsim [-insts N] [-workload name] [-scheme name] [-seed N] [-timeout D]
 //	       [-loop 64|128|256] [-tage 8|9|57]
 //	       [-audit] [-oracle] [-inject kinds] [-inject-seed N] [-inject-every N]
 //	       [-cpistack] [-counters] [-trace-events file] [-trace-chrome file]
@@ -30,10 +30,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"localbp/internal/audit"
 	"localbp/internal/bpu"
@@ -57,6 +61,7 @@ func main() {
 	tageKB := flag.Int("tage", 8, "TAGE baseline size class (8, 9 or 57)")
 	maxCycles := flag.Int64("maxcycles", 0, "abort if the run exceeds this many cycles (0 = automatic budget)")
 	stallCycles := flag.Int64("stall", 0, "abort if no instruction retires for this many cycles (0 = default deadman)")
+	timeout := flag.Duration("timeout", 0, "wall-clock cap for the run (0 = none); composes with -maxcycles/-stall")
 	auditOn := flag.Bool("audit", false, "enable the integrity auditor (read-only invariant checks)")
 	oracleOn := flag.Bool("oracle", false, "cross-check retirement against the golden in-order model")
 	inject := flag.String("inject", "", "fault kinds to inject: comma-separated list or \"all\" (empty = off)")
@@ -193,10 +198,25 @@ func main() {
 	if inj != nil {
 		inj.AttachTAGE(unit.Tage)
 	}
+	// Cancellation: SIGINT/SIGTERM and -timeout both flow through the run
+	// context; the cycle loop observes it within one check stride. The
+	// wall-clock cap composes with the cycle-domain watchdog
+	// (-maxcycles/-stall) — whichever trips first ends the run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	c := core.New(ccfg, unit, tr)
-	st, err := c.RunChecked()
+	st, err := c.RunContext(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
+		if errors.Is(err, core.ErrCanceled) {
+			os.Exit(4)
+		}
 		os.Exit(1)
 	}
 

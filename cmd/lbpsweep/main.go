@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	lbpsweep [-insts N] [-quick] [-workers N] [-checkpoint file] [-list] [experiment ids...]
+//	lbpsweep [-insts N] [-quick] [-workers N] [-checkpoint file] [-retries N] [-timeout D] [-list] [experiment ids...]
 //	lbpsweep -cpistack [-scheme name] [-insts N] [-quick]
 //	lbpsweep -trace-events file -workload name [-scheme name] [-insts N] [-seed N]
 //
@@ -13,10 +13,31 @@
 // the worker count). With -quick the reduced, category-balanced workload
 // subset is used.
 //
-// With -checkpoint, completed experiment outputs are flushed to the given
-// JSON file after each experiment; rerunning the same sweep (same -insts /
-// -warmup / -quick) skips completed experiments and replays their stored
-// output, so an interrupted sweep resumes instead of restarting.
+// Resilience:
+//
+//   - -checkpoint flushes completed experiment outputs to the given file
+//     (CRC-stamped, two generations) after each experiment; rerunning the
+//     same sweep (same -insts / -warmup / -quick) skips completed
+//     experiments and replays their stored output. A corrupt checkpoint is
+//     preserved as <file>.corrupt and the previous generation is recovered
+//     automatically when valid.
+//   - -retries N retries transiently failed workload runs (stalls,
+//     integrity trips, panics) up to N times with deterministic jittered
+//     exponential backoff; permanent failures (validation, generation) are
+//     never retried. Retries replay the identical trace, so surviving
+//     results are bit-identical to a retry-free sweep.
+//   - -timeout D bounds each workload run attempt's wall clock, composing
+//     with the cycle-domain watchdog (-insts budget and stall detection).
+//   - SIGINT/SIGTERM cancel the sweep gracefully: in-flight workload runs
+//     stop within one cancellation-check stride, completed experiments are
+//     already checkpointed, and the process exits with code 4.
+//   - -inject transient arms the deterministic chaos plan: seeded,
+//     attempt-dependent synthetic faults that exercise the retry machinery
+//     without perturbing surviving results.
+//
+// Exit codes: 0 all experiments ok; 1 partial (some experiments or workload
+// runs failed); 2 configuration error; 3 every attempted experiment failed;
+// 4 interrupted.
 //
 // Observability modes:
 //
@@ -28,25 +49,23 @@
 //     tracer and writes the retained events as JSONL.
 //   - -pprof DIR profiles the process: cpu.pprof and heap.pprof plus a
 //     runtime-metrics dump (runtime/metrics) land in DIR.
-//
-// A workload run that panics or stops making forward progress is isolated
-// into a structured failure: the sweep completes, the affected experiment
-// reports N/M failed runs, and the failures are listed after its output.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/metrics"
 	"runtime/pprof"
-	"strings"
-	"time"
+	"syscall"
 
 	"localbp/internal/harness"
 	"localbp/internal/obs"
+	"localbp/internal/service"
 	"localbp/internal/trace"
 	"localbp/internal/workloads"
 )
@@ -60,7 +79,11 @@ func run() int {
 	warmup := flag.Int("warmup", 0, "leading retired instructions excluded from statistics")
 	quick := flag.Bool("quick", false, "use the reduced workload subset")
 	workers := flag.Int("workers", 0, "concurrent workload runs per configuration (0 = GOMAXPROCS)")
-	checkpoint := flag.String("checkpoint", "", "JSON file for checkpoint/resume of completed experiments")
+	checkpoint := flag.String("checkpoint", "", "file for checkpoint/resume of completed experiments")
+	retries := flag.Int("retries", 0, "retry budget for transiently failed workload runs")
+	timeout := flag.Duration("timeout", 0, "wall-clock cap per workload run attempt (0 = none)")
+	inject := flag.String("inject", "", "chaos injection mode: 'transient' fails leading run attempts deterministically")
+	injectSeed := flag.Uint64("inject-seed", 1, "seed for the -inject chaos plan")
 	auditSample := flag.Int("audit-sample", 0, "run the integrity auditor + golden model on every Nth workload per spec (0 = off)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	verbose := flag.Bool("v", false, "print per-configuration progress")
@@ -79,138 +102,95 @@ func run() int {
 		return 0
 	}
 
+	// SIGINT/SIGTERM cancel the sweep context; workers observe it within one
+	// cancellation-check stride and the sweep drains gracefully. A second
+	// signal kills the process outright (signal.NotifyContext unregisters
+	// after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *pprofDir != "" {
-		stop, err := startProfiles(*pprofDir)
+		stopProf, err := startProfiles(*pprofDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
-			return 2
+			return int(service.SweepConfigError)
 		}
-		defer stop()
+		defer stopProf()
 	}
 
 	opts := harness.Options{Insts: *insts, Quick: *quick, Warmup: *warmup, Workers: *workers,
-		AuditSample: *auditSample}
+		AuditSample: *auditSample, Retries: *retries, RunTimeout: *timeout}
+
+	switch *inject {
+	case "":
+	case "transient":
+		opts.Chaos = &harness.ChaosPlan{Seed: *injectSeed, MaxFaults: 2}
+		if *retries == 0 {
+			fmt.Fprintf(os.Stderr, "lbpsweep: note: -inject transient without -retries will fail chaos-faulted runs\n")
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "lbpsweep: unknown -inject mode %q (supported: transient)\n", *inject)
+		return int(service.SweepConfigError)
+	}
 
 	if *cpistack {
-		out, err := harness.CPIStackTable(opts, *schemeName)
+		out, err := harness.CPIStackTable(ctx, opts, *schemeName)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
-			return 2
+			if ctx.Err() != nil {
+				return int(service.SweepInterrupted)
+			}
+			return int(service.SweepConfigError)
 		}
 		fmt.Printf("CPI stacks, %d instructions per workload, scheme %s:\n%s", *insts, *schemeName, out)
 		return 0
 	}
 
 	if *traceEvents != "" {
-		if err := traceOneRun(opts, *workload, *schemeName, *seed, *traceEvents); err != nil {
+		if err := traceOneRun(ctx, opts, *workload, *schemeName, *seed, *traceEvents); err != nil {
 			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
-			return 2
+			if ctx.Err() != nil {
+				return int(service.SweepInterrupted)
+			}
+			return int(service.SweepConfigError)
 		}
 		return 0
 	}
 
-	ids := flag.Args()
-	if len(ids) == 0 {
-		for _, e := range harness.Experiments() {
-			ids = append(ids, e.ID)
-		}
-	}
-
-	// Validate every experiment id before running anything: a typo must
-	// surface immediately and completely, not hours into a sweep.
-	var unknown []string
-	for _, id := range ids {
-		if _, ok := harness.ExperimentByID(id); !ok {
-			unknown = append(unknown, id)
-		}
-	}
-	if len(unknown) > 0 {
-		fmt.Fprintf(os.Stderr, "lbpsweep: unknown experiment ids: %s (use -list)\n",
-			strings.Join(unknown, ", "))
-		return 2
-	}
-
-	var ck *harness.Checkpoint
-	if *checkpoint != "" {
-		loaded, err := harness.LoadCheckpoint(*checkpoint)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
-			return 2
-		}
-		ck = loaded
-		if ck == nil {
-			ck = harness.NewCheckpoint(opts)
-		} else if !ck.Matches(opts) {
-			fmt.Fprintf(os.Stderr,
-				"lbpsweep: checkpoint %s was written with -insts %d -warmup %d -quick %v; rerun with those flags or delete it\n",
-				*checkpoint, ck.Insts, ck.Warmup, ck.Quick)
-			return 2
-		}
-	}
-
-	r := harness.NewRunner(opts)
-	if *verbose {
-		r.Log = os.Stderr
-	}
 	suite := "full suite (202 workloads)"
 	if *quick {
 		suite = "quick suite (50 workloads)"
 	}
 	fmt.Printf("lbpsweep: %s, %d instructions per workload\n\n", suite, *insts)
 
-	exitCode := 0
-	reported := 0 // failures already attributed to earlier experiments
-	for _, id := range ids {
-		e, _ := harness.ExperimentByID(id)
-		if ck != nil {
-			if done, ok := ck.Done(id); ok {
-				fmt.Printf("== %s — %s (%.1fs)\n%s\n", e.ID, e.Title, done.Seconds, done.Output)
-				continue
-			}
-		}
-		t0 := time.Now()
-		out, err := e.Run(r)
-		secs := time.Since(t0).Seconds()
-		if err != nil {
-			// Aggregation failed (for example mismatched result sets after a
-			// partial sweep): skip this artifact, keep the sweep going.
-			fmt.Fprintf(os.Stderr, "lbpsweep: %s failed: %v\n", e.ID, err)
-			exitCode = 1
-			continue
-		}
-
-		// Graceful degradation: failures recorded during this experiment
-		// (its own fresh specs; memoized specs reported where first run)
-		// are appended to the experiment's output so they persist through
-		// checkpoints and resumes.
-		failures := r.Failures()
-		if fresh := failures[reported:]; len(fresh) > 0 {
-			var b strings.Builder
-			fmt.Fprintf(&b, "!! %d workload run(s) failed; aggregates above cover the remaining runs:\n", len(fresh))
-			for _, f := range fresh {
-				fmt.Fprintf(&b, "!!   %s × %s [%s]: %s\n", f.Workload, f.SpecLabel, f.Phase, firstLine(f.Err.Error()))
-			}
-			out += "\n" + b.String()
-			reported = len(failures)
-			exitCode = 1
-		}
-
-		fmt.Printf("== %s — %s (%.1fs)\n%s\n", e.ID, e.Title, secs, out)
-
-		if ck != nil {
-			ck.Record(id, harness.ExperimentOutcome{Output: out, Seconds: secs})
-			if err := ck.Save(*checkpoint); err != nil {
-				fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
-				return 2
-			}
-		}
+	cfg := service.SweepConfig{
+		Opts:       opts,
+		IDs:        flag.Args(),
+		Checkpoint: *checkpoint,
+		Out:        os.Stdout,
+		Errs:       os.Stderr,
 	}
-	return exitCode
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	rep, err := service.RunSweep(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+		return int(service.SweepConfigError)
+	}
+	status := rep.Status()
+	fmt.Fprintf(os.Stderr, "lbpsweep: %s: %s\n", status, rep.Summary())
+	if status == service.SweepInterrupted && *checkpoint != "" {
+		fmt.Fprintf(os.Stderr, "lbpsweep: completed experiments are checkpointed in %s; rerun the same command to resume\n",
+			*checkpoint)
+	}
+	return int(status)
 }
 
 // traceOneRun simulates one workload under one scheme with the event tracer
 // attached and writes the retained events as JSONL.
-func traceOneRun(o harness.Options, workload, schemeName string, seed int64, path string) error {
+func traceOneRun(ctx context.Context, o harness.Options, workload, schemeName string, seed int64, path string) error {
 	if workload == "" {
 		return fmt.Errorf("-trace-events requires -workload (see lbptrace -list)")
 	}
@@ -231,7 +211,7 @@ func traceOneRun(o harness.Options, workload, schemeName string, seed int64, pat
 	if err := trace.Validate(tr); err != nil {
 		return err
 	}
-	st, _, err := harness.RunTraceChecked(tr, spec)
+	st, _, err := harness.RunTraceContext(ctx, tr, spec)
 	if err != nil {
 		return err
 	}
@@ -315,13 +295,4 @@ func writeRuntimeMetrics(f *os.File) {
 			fmt.Fprintf(f, "%-60s histogram, %d samples\n", s.Name, n)
 		}
 	}
-}
-
-// firstLine truncates multi-line error text (stall dumps, panic stacks) for
-// the per-experiment failure summary; full detail reaches stderr with -v.
-func firstLine(s string) string {
-	if i := strings.IndexByte(s, '\n'); i >= 0 {
-		return s[:i] + " ..."
-	}
-	return s
 }

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"localbp/internal/harness"
+)
+
+// buildSweep compiles the lbpsweep binary into a temp dir once per test.
+func buildSweep(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lbpsweep")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSweepSIGINTResume is the crash-safety acceptance test: a live sweep is
+// interrupted with SIGINT mid-run, must exit with the interrupted code (4)
+// leaving a valid checkpoint, and a rerun of the same command must resume —
+// replaying every completed experiment verbatim, losing none, duplicating
+// none — and finish with exit 0.
+func TestSweepSIGINTResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	bin := buildSweep(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	ids := []string{"table1", "table2", "fig4", "fig7a", "fig8", "fig9"}
+	args := append([]string{"-quick", "-insts", "60000", "-workers", "2", "-checkpoint", ckpt}, ids...)
+
+	var out1, err1 strings.Builder
+	first := exec.Command(bin, args...)
+	first.Stdout, first.Stderr = &out1, &err1
+	if err := first.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until at least one experiment has been checkpointed (the static
+	// tables complete almost immediately), then interrupt mid-sweep.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			first.Process.Kill()
+			t.Fatalf("checkpoint never appeared; stdout:\n%s\nstderr:\n%s", out1.String(), err1.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := first.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	werr := first.Wait()
+	code := first.ProcessState.ExitCode()
+	if code == 0 {
+		// The whole sweep finished before the signal landed; the resume path
+		// can't be exercised this round.
+		t.Skipf("sweep completed before SIGINT landed (exit 0); stderr:\n%s", err1.String())
+	}
+	if code != 4 {
+		t.Fatalf("interrupted sweep exited %d (%v), want 4\nstdout:\n%s\nstderr:\n%s",
+			code, werr, out1.String(), err1.String())
+	}
+	if !strings.Contains(err1.String(), "interrupted") {
+		t.Fatalf("stderr does not report interruption:\n%s", err1.String())
+	}
+
+	// The checkpoint left behind must be valid and partial.
+	ck, err := harness.LoadCheckpoint(ckpt)
+	if err != nil || ck == nil {
+		t.Fatalf("post-SIGINT checkpoint unreadable: (%v, %v)", ck, err)
+	}
+	before := map[string]harness.ExperimentOutcome{}
+	for _, id := range ids {
+		if o, ok := ck.Done(id); ok {
+			before[id] = o
+		}
+	}
+	if len(before) == 0 || len(before) == len(ids) {
+		t.Fatalf("checkpoint has %d/%d experiments; want a strict partial", len(before), len(ids))
+	}
+
+	// Resume: the same command must replay completed experiments and finish
+	// the rest.
+	var out2, err2 strings.Builder
+	second := exec.Command(bin, args...)
+	second.Stdout, second.Stderr = &out2, &err2
+	if err := second.Run(); err != nil {
+		t.Fatalf("resumed sweep failed (%v)\nstdout:\n%s\nstderr:\n%s", err, out2.String(), err2.String())
+	}
+
+	// Zero lost results: every previously completed output replays verbatim.
+	for id, o := range before {
+		if !strings.Contains(out2.String(), o.Output) {
+			t.Fatalf("resumed sweep lost the checkpointed output of %s", id)
+		}
+	}
+	// Zero duplicated results: each experiment's banner appears exactly once.
+	for _, id := range ids {
+		banner := "== " + id + " "
+		if n := strings.Count(out2.String(), banner); n != 1 {
+			t.Fatalf("experiment %s ran %d times in the resumed sweep, want 1\nstdout:\n%s",
+				id, n, out2.String())
+		}
+	}
+
+	// The final checkpoint holds every experiment, with the pre-interrupt
+	// outcomes untouched.
+	ck, err = harness.LoadCheckpoint(ckpt)
+	if err != nil || ck == nil {
+		t.Fatalf("final checkpoint unreadable: (%v, %v)", ck, err)
+	}
+	for _, id := range ids {
+		o, ok := ck.Done(id)
+		if !ok {
+			t.Fatalf("experiment %s missing from the final checkpoint", id)
+		}
+		if prev, was := before[id]; was && prev.Output != o.Output {
+			t.Fatalf("resume rewrote the completed output of %s", id)
+		}
+	}
+}
+
+// TestSweepExitCodeConfigError: unknown experiment ids exit 2 before any
+// simulation.
+func TestSweepExitCodeConfigError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	bin := buildSweep(t)
+	cmd := exec.Command(bin, "-quick", "-insts", "5000", "definitely-not-an-experiment")
+	out, _ := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 2 {
+		t.Fatalf("unknown id exited %d, want 2\n%s", code, out)
+	}
+}
+
+// TestSweepChaosGate: with -inject transient and a covering -retries budget,
+// a quick sweep completes 100% (exit 0) and reports no failures.
+func TestSweepChaosGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	bin := buildSweep(t)
+	cmd := exec.Command(bin, "-quick", "-insts", "20000",
+		"-inject", "transient", "-retries", "3", "table1", "fig4")
+	out, err := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 0 || err != nil {
+		t.Fatalf("chaos-injected sweep exited %d (%v)\n%s", code, err, out)
+	}
+	if strings.Contains(string(out), "!!") {
+		t.Fatalf("chaos-injected sweep reported failures despite covering retry budget:\n%s", out)
+	}
+}

@@ -17,9 +17,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"localbp/internal/cliflags"
+	"localbp/internal/service"
 	"localbp/internal/trace"
 	"localbp/internal/workloads"
 )
@@ -74,12 +76,11 @@ func main() {
 		tr := w.Generate(*insts)
 		fmt.Printf("%s (%s): %s\n", w.Name, w.Category, trace.Summarize(tr))
 		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			if err := trace.WriteTrace(f, tr); err != nil {
+			// Atomic write: an interrupted save never leaves a torn trace
+			// file for a later run to consume.
+			if err := service.AtomicWriteFile(*out, func(f io.Writer) error {
+				return trace.WriteTrace(f, tr)
+			}); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s\n", *out)

@@ -1,0 +1,53 @@
+package localbp
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"localbp/internal/core"
+)
+
+// TestWithContextCancel: a canceled context aborts Simulate with an error
+// matching both the facade-level core.ErrCanceled and the stdlib cause.
+func TestWithContextCancel(t *testing.T) {
+	w := Workloads()[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Simulate(w, 50_000, ForwardWalk(), WithContext(ctx))
+	if err == nil {
+		t.Fatal("pre-canceled context: Simulate completed")
+	}
+	if !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation cause not exposed: %v", err)
+	}
+}
+
+// TestWithContextBitIdentical: the context plumbing is read-only — a run
+// under a live context is bit-identical to one without WithContext.
+func TestWithContextBitIdentical(t *testing.T) {
+	w := Workloads()[0]
+	plain, err := Simulate(w, 30_000, ForwardWalk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := Simulate(w, 30_000, ForwardWalk(), WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withCtx) {
+		t.Fatalf("WithContext perturbed the run:\nplain: %+v\nctx:   %+v", plain, withCtx)
+	}
+}
+
+// TestWithContextNil: a nil context falls back to Background instead of
+// panicking.
+func TestWithContextNil(t *testing.T) {
+	w := Workloads()[0]
+	if _, err := Simulate(w, 10_000, BaselineTAGE(), WithContext(nil)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the sentinel wrapped by every CancelError: a simulation
+// aborted by its context (cancellation or deadline) rather than by the
+// watchdog. Match with errors.Is(err, core.ErrCanceled); the context cause
+// (context.Canceled / context.DeadlineExceeded) also matches through Unwrap.
+var ErrCanceled = errors.New("core: canceled")
+
+// cancelCheckMask strides the context poll: the cycle loop consults
+// ctx.Err() once every cancelCheckMask+1 iterations, so cancellation lands
+// within microseconds of wall clock while the hot path pays only a counter
+// increment and a predictable branch. The stride is in loop iterations, not
+// cycles — with idle fast-forward one iteration may advance many cycles.
+const cancelCheckMask = 1<<10 - 1
+
+// CancelError reports a run aborted by its context, with the simulation
+// position at the abort so partial progress is diagnosable.
+type CancelError struct {
+	Cycle int64  // cycle at which the cancellation was observed
+	Insts uint64 // instructions retired up to the abort
+	Cause error  // ctx.Err(): context.Canceled or context.DeadlineExceeded
+}
+
+// Error renders the cause and the simulation position.
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("core: canceled at cycle %d (%d instructions retired): %v",
+		e.Cycle, e.Insts, e.Cause)
+}
+
+// Unwrap exposes the context cause to errors.Is (context.Canceled,
+// context.DeadlineExceeded).
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// Is additionally matches the ErrCanceled sentinel.
+func (e *CancelError) Is(target error) bool { return target == ErrCanceled }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"localbp/internal/audit"
@@ -281,6 +282,23 @@ func (c *Core) Run() Stats {
 // into an ErrStalled-wrapping *StallError carrying a pipeline-state dump.
 // The partial statistics accumulated up to the abort are returned alongside.
 func (c *Core) RunChecked() (Stats, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext simulates like RunChecked under a context: cancellation or a
+// deadline aborts the run within cancelCheckMask+1 loop iterations with an
+// ErrCanceled-wrapping *CancelError (errors.Is also matches the context
+// cause). The context checks are read-only — a run that completes reports
+// statistics bit-identical to RunChecked — and a context that can never be
+// canceled (Background) costs only a counter increment per iteration. The
+// wall-clock deadline composes with the cycle-domain watchdog (MaxCycles,
+// StallCycles): whichever bound trips first aborts the run.
+func (c *Core) RunContext(ctx context.Context) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
+	var iter uint64
 	budget := c.cfg.MaxCycles
 	if budget == 0 {
 		budget = cycleBudget(len(c.prog))
@@ -298,6 +316,13 @@ func (c *Core) RunChecked() (Stats, error) {
 	// auditor's periodic scans are cycle-driven, so auditing disables it.
 	ff := c.cfg.Audit == nil && !c.cfg.DisableFastForward
 	for c.pos < len(c.prog) || c.robLen() > 0 || c.fqCount > 0 {
+		if done != nil && iter&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				c.stats.Cycles = c.cycle
+				return c.stats, &CancelError{Cycle: c.cycle, Insts: c.stats.Insts, Cause: err}
+			}
+		}
+		iter++
 		if ff {
 			// The watchdogs fire at the end of the iteration that starts at
 			// limit; clamp the jump so that iteration still runs live.

@@ -1,0 +1,45 @@
+package harness
+
+import "hash/fnv"
+
+// ChaosPlan deterministically injects *transient* failures into workload
+// runs: for each (spec, workload) pair it fails the first f attempts with
+// ErrInjected, where f is drawn per-pair from a seeded hash in
+// [0, MaxFaults]. Unlike internal/faultinject — which corrupts simulator
+// state and fails every attempt identically — a chaos fault is
+// attempt-dependent, so it exercises the retry machinery end-to-end: with
+// Options.Retries >= MaxFaults every run eventually executes cleanly, and
+// because a faulted attempt never starts the simulation, the surviving
+// run's metrics are bit-identical to an un-chaosed sweep.
+type ChaosPlan struct {
+	// Seed selects which runs fault and how often; the same seed always
+	// produces the same plan.
+	Seed uint64
+	// MaxFaults bounds the injected failures per (spec, workload) pair.
+	// 0 disables the plan; Options.Retries >= MaxFaults guarantees every
+	// run completes.
+	MaxFaults int
+}
+
+// FaultyAttempts returns how many leading attempts of (spec × workload)
+// the plan fails, in [0, MaxFaults], uniform per pair.
+func (p *ChaosPlan) FaultyAttempts(spec, workload string) int {
+	if p == nil || p.MaxFaults <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(spec))
+	h.Write([]byte{0})
+	h.Write([]byte(workload))
+	return int(splitmix64(p.Seed^h.Sum64()) % uint64(p.MaxFaults+1))
+}
+
+// splitmix64 is the standard 64-bit finalizing mix (Vigna): a cheap,
+// high-quality stateless hash used to derive per-pair fault counts and
+// deterministic retry jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

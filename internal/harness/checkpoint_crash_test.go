@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// savedCheckpoint builds and saves a checkpoint with the given completed
+// experiment ids, returning its path.
+func savedCheckpoint(t *testing.T, path string, ids ...string) *Checkpoint {
+	t.Helper()
+	ck := NewCheckpoint(Options{Insts: 20_000, Quick: true})
+	for _, id := range ids {
+		ck.Record(id, ExperimentOutcome{Output: "output of " + id + "\n", Seconds: 1})
+		if err := ck.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ck
+}
+
+// TestCheckpointTruncationRecovers: a mid-file truncation (torn write) of
+// the newest generation is detected via the envelope's length pin, the
+// damaged file is preserved as <path>.corrupt, and the loader falls back to
+// the previous generation — no completed result recorded there is lost.
+func TestCheckpointTruncationRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	savedCheckpoint(t, path, "table1", "fig4") // two saves → two generations
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("truncated checkpoint did not recover: %v", err)
+	}
+	if got.Note == "" || !strings.Contains(got.Note, prevGeneration(path)) {
+		t.Fatalf("recovery note missing or wrong: %q", got.Note)
+	}
+	// The previous generation holds everything up to the penultimate save:
+	// zero completed results lost from that generation.
+	if _, ok := got.Done("table1"); !ok {
+		t.Fatal("recovered generation lost a completed experiment")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("damaged file not preserved: %v", err)
+	}
+}
+
+// TestCheckpointCRCFlipDetected: a single flipped payload byte fails the
+// CRC-32C check with a *CorruptError naming the byte offset and cause, and
+// the damaged file is moved aside so the next invocation starts fresh.
+func TestCheckpointCRCFlipDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	savedCheckpoint(t, path, "table1") // one save → no previous generation
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40 // flip one payload bit; JSON may still parse
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = LoadCheckpoint(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+	if ce.Offset <= 0 {
+		t.Fatalf("corrupt error lacks a byte offset: %+v", ce)
+	}
+	if !strings.Contains(ce.Error(), "CRC") && !strings.Contains(ce.Error(), "JSON") {
+		t.Fatalf("corrupt error does not name the cause: %v", ce)
+	}
+	if ce.PreservedAs != path+".corrupt" {
+		t.Fatalf("damaged file preserved as %q, want %q", ce.PreservedAs, path+".corrupt")
+	}
+	if _, err := os.Stat(ce.PreservedAs); err != nil {
+		t.Fatalf("preserved file missing: %v", err)
+	}
+	// The damaged file is out of the way: a rerun starts fresh, not stuck.
+	if ck, err := LoadCheckpoint(path); ck != nil || err != nil {
+		t.Fatalf("after preservation: got (%v, %v), want fresh start", ck, err)
+	}
+}
+
+// TestCheckpointMissingMainUsesPrev: the crash window between rotating the
+// old generation aside and renaming the new one in leaves only <path>.1;
+// the loader resumes from it.
+func TestCheckpointMissingMainUsesPrev(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	savedCheckpoint(t, path, "table1", "fig4")
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCheckpoint(path)
+	if err != nil || got == nil {
+		t.Fatalf("missing main with valid previous generation: got (%v, %v)", got, err)
+	}
+	if _, ok := got.Done("table1"); !ok {
+		t.Fatal("previous generation lost a completed experiment")
+	}
+	if !strings.Contains(got.Note, "previous generation") {
+		t.Fatalf("recovery note missing: %q", got.Note)
+	}
+}
+
+// TestCheckpointGenerationRotation: each Save rotates the prior file to
+// <path>.1, so two valid generations coexist and the older one trails the
+// newer by exactly one experiment.
+func TestCheckpointGenerationRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	savedCheckpoint(t, path, "table1", "fig4", "fig7a")
+
+	newest, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newest.Completed) != 3 {
+		t.Fatalf("newest generation has %d entries, want 3", len(newest.Completed))
+	}
+	prev, err := LoadCheckpoint(prevGeneration(path))
+	if err != nil || prev == nil {
+		t.Fatalf("previous generation unreadable: (%v, %v)", prev, err)
+	}
+	if len(prev.Completed) != 2 {
+		t.Fatalf("previous generation has %d entries, want 2", len(prev.Completed))
+	}
+}
+
+// TestCheckpointLegacyBareJSON: pre-envelope checkpoints (bare JSON) still
+// load, so upgrading does not orphan an in-flight sweep.
+func TestCheckpointLegacyBareJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	legacy := `{"version": 1, "insts": 20000, "quick": true,
+		"completed": {"table1": {"output": "legacy\n", "seconds": 2}}}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil || got == nil {
+		t.Fatalf("legacy checkpoint rejected: (%v, %v)", got, err)
+	}
+	out, ok := got.Done("table1")
+	if !ok || out.Output != "legacy\n" {
+		t.Fatalf("legacy outcome lost: %+v ok=%v", out, ok)
+	}
+}
+
+// TestCheckpointEnvelopeHeaderDamage: garbage where the envelope header
+// should be is corruption at offset 0, not a silent fresh start.
+func TestCheckpointEnvelopeHeaderDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := os.WriteFile(path, []byte("LBPCKPT2 zzzz\n{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError for damaged header, got %v", err)
+	}
+}

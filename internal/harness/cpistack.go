@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"localbp/internal/bpu/tage"
@@ -38,16 +39,16 @@ func SpecFor(name string, opts ...schemes.Opt) (Spec, error) {
 // named scheme with CPI-stack accounting and renders where every cycle
 // went. The attribution is audited inside the core: a run whose buckets do
 // not sum to its total cycles aborts with InvCPIAccounting.
-func CPIStackTable(o Options, schemeName string) (string, error) {
-	return cpiStackTable(o, NewTraceCache(), schemeName)
+func CPIStackTable(ctx context.Context, o Options, schemeName string) (string, error) {
+	return cpiStackTable(ctx, o, NewTraceCache(), schemeName)
 }
 
 // Ext2 is the CPI-stack experiment under the paper's headline scheme.
-func Ext2(r *Runner) (string, error) {
-	return cpiStackTable(r.Opts, r.cache, "forward-coalesce")
+func Ext2(ctx context.Context, r *Runner) (string, error) {
+	return cpiStackTable(ctx, r.Opts, r.cache, "forward-coalesce")
 }
 
-func cpiStackTable(o Options, cache *TraceCache, schemeName string) (string, error) {
+func cpiStackTable(ctx context.Context, o Options, cache *TraceCache, schemeName string) (string, error) {
 	spec, err := SpecFor(schemeName)
 	if err != nil {
 		return "", err
@@ -61,7 +62,7 @@ func cpiStackTable(o Options, cache *TraceCache, schemeName string) (string, err
 		}
 		var cpi *obs.CPIStack
 		spec.Obs = &ObsSpec{CPIStack: true, Done: func(h *obs.Hooks) { cpi = h.CPI }}
-		if _, _, err := RunTraceChecked(tr, spec); err != nil {
+		if _, _, err := RunTraceContext(ctx, tr, spec); err != nil {
 			return "", err
 		}
 		row := []string{w.Name, w.Category.String(), fmt.Sprint(cpi.Total())}

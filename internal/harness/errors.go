@@ -1,6 +1,13 @@
 package harness
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"localbp/internal/audit"
+	"localbp/internal/core"
+)
 
 // Phases of one workload × spec run, recorded in RunError so a failure
 // report says where in the pipeline the run died.
@@ -8,18 +15,90 @@ const (
 	PhaseValidate = "validate" // spec/config validation before any simulation
 	PhaseGenerate = "generate" // trace generation / trace validation
 	PhaseSimulate = "simulate" // the cycle-level simulation itself
+	PhaseCanceled = "canceled" // run never executed: context canceled first
 )
+
+// ErrorClass is the retry classification of a failed run: whether
+// re-attempting the same run could plausibly succeed.
+type ErrorClass string
+
+const (
+	// ClassPermanent failures are deterministic in the inputs (validation,
+	// trace generation): retrying reproduces them, so the runner never does.
+	ClassPermanent ErrorClass = "permanent"
+	// ClassTransient failures (stalls, integrity trips, injected faults,
+	// panics) may be attempt-dependent; the runner retries them up to
+	// Options.Retries times.
+	ClassTransient ErrorClass = "transient"
+	// ClassExhausted marks a transient failure that persisted through every
+	// allowed retry — distinguished from ClassPermanent in failure summaries
+	// because the remedy differs (raise -retries / investigate the fault vs
+	// fix the configuration).
+	ClassExhausted ErrorClass = "retry-exhausted"
+	// ClassCanceled marks a run aborted (or never started) because the
+	// context was canceled or its deadline expired; never retried.
+	ClassCanceled ErrorClass = "canceled"
+)
+
+// ErrInjected is the sentinel for chaos-plan transient faults (see
+// ChaosPlan): a deliberately injected, attempt-dependent failure used to
+// exercise the retry machinery end-to-end. Always ClassTransient.
+var ErrInjected = errors.New("harness: injected transient fault")
+
+// Classify maps a run failure to its retry class using errors.Is over the
+// structured error chain: context cancellation/deadline → ClassCanceled;
+// watchdog stalls (core.ErrStalled), integrity violations
+// (audit.ErrIntegrity), injected chaos faults and recovered panics →
+// ClassTransient; validation and trace-generation failures →
+// ClassPermanent. A nil error classifies as "".
+func Classify(err error) ErrorClass {
+	if err == nil {
+		return ""
+	}
+	switch {
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, core.ErrCanceled):
+		return ClassCanceled
+	case errors.Is(err, ErrInjected),
+		errors.Is(err, core.ErrStalled),
+		errors.Is(err, audit.ErrIntegrity):
+		return ClassTransient
+	}
+	var re *RunError
+	if errors.As(err, &re) {
+		switch re.Phase {
+		case PhaseValidate, PhaseGenerate:
+			return ClassPermanent
+		case PhaseCanceled:
+			return ClassCanceled
+		}
+		if re.Stack != "" {
+			// A recovered panic: possibly fault-induced state corruption, so
+			// one clean re-attempt is worth the cost; a deterministic bug
+			// simply exhausts its retries and is reported as such.
+			return ClassTransient
+		}
+	}
+	return ClassPermanent
+}
 
 // RunError is the structured failure record for one workload × spec run.
 // The parallel runner converts panics (predictor/core bugs), watchdog trips
-// (core.ErrStalled) and validation failures into RunErrors so one bad run
-// degrades a sweep instead of killing it.
+// (core.ErrStalled), integrity violations and context cancellations into
+// RunErrors so one bad run degrades a sweep instead of killing it.
 type RunError struct {
 	Workload  string // workload name ("" for spec-level validation failures)
 	SpecLabel string
-	Phase     string // PhaseValidate, PhaseGenerate or PhaseSimulate
+	Phase     string // PhaseValidate, PhaseGenerate, PhaseSimulate or PhaseCanceled
 	Err       error  // underlying cause; errors.Is(err, core.ErrStalled) works through it
 	Stack     string // goroutine stack when recovered from a panic, else ""
+
+	// Attempts is how many times the run was executed before this error was
+	// accepted as final (1 = no retries). Class is the final classification:
+	// ClassExhausted when retries were spent, else Classify(Err).
+	Attempts int
+	Class    ErrorClass
 }
 
 // Error renders the workload, spec, phase and cause on one line; the panic
@@ -30,6 +109,9 @@ func (e *RunError) Error() string {
 		w = "(all workloads)"
 	}
 	msg := fmt.Sprintf("run %s × %s failed in %s: %v", w, e.SpecLabel, e.Phase, e.Err)
+	if e.Attempts > 1 {
+		msg = fmt.Sprintf("%s (after %d attempts)", msg, e.Attempts)
+	}
 	if e.Stack != "" {
 		msg += "\n" + e.Stack
 	}

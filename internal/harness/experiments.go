@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,18 +16,20 @@ import (
 // Experiment regenerates one paper artifact (figure or table) as text. Run
 // returns an error instead of panicking when aggregation fails (for example
 // mismatched result sets after a partially-failed sweep); the sweep then
-// skips the artifact and keeps going.
+// skips the artifact and keeps going. The context flows into every
+// underlying workload run: cancellation drains the artifact's simulations
+// within one worker iteration.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(r *Runner) (string, error)
+	Run   func(ctx context.Context, r *Runner) (string, error)
 }
 
 // Experiments returns every reproducible artifact in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"table1", "Table 1: evaluated benchmark categories", func(r *Runner) (string, error) { return Table1(), nil }},
-		{"table2", "Table 2: simulator parameters", func(r *Runner) (string, error) { return Table2(), nil }},
+		{"table1", "Table 1: evaluated benchmark categories", func(ctx context.Context, r *Runner) (string, error) { return Table1(), nil }},
+		{"table2", "Table 2: simulator parameters", func(ctx context.Context, r *Runner) (string, error) { return Table2(), nil }},
 		{"fig4", "Figure 4: MPKI opportunity and the cost of not repairing", Fig4},
 		{"fig7a", "Figure 7a: MPKI reduction of CBPw-Loop{64,128,256} with perfect repair", Fig7a},
 		{"fig7b", "Figure 7b: IPC gain of CBPw-Loop{64,128,256} with perfect repair", Fig7b},
@@ -93,10 +96,10 @@ func Table2() string {
 
 // Fig4 shows the per-category MPKI reduction of a never-mispredicting local
 // predictor (the opportunity) against a local predictor with no repair.
-func Fig4(r *Runner) (string, error) {
-	base := r.Results(BaselineSpec())
-	oracle := r.Results(OracleSpec(loop.Loop128()))
-	none := r.Results(NoRepairSpec(loop.Loop128()))
+func Fig4(ctx context.Context, r *Runner) (string, error) {
+	base := r.ResultsContext(ctx, BaselineSpec())
+	oracle := r.ResultsContext(ctx, OracleSpec(loop.Loop128()))
+	none := r.ResultsContext(ctx, NoRepairSpec(loop.Loop128()))
 	cats, opp, err := byCategoryMPKI(base, oracle)
 	if err != nil {
 		return "", err
@@ -119,13 +122,13 @@ func loopConfigs() []loop.Config {
 }
 
 // Fig7a: per-category MPKI reduction with perfect repair across sizes.
-func Fig7a(r *Runner) (string, error) {
-	base := r.Results(BaselineSpec())
+func Fig7a(ctx context.Context, r *Runner) (string, error) {
+	base := r.ResultsContext(ctx, BaselineSpec())
 	t := &metrics.Table{Header: []string{"Category", "Loop64", "Loop128", "Loop256"}}
 	rows := map[string][]string{}
 	var cats []string
 	for _, cfg := range loopConfigs() {
-		res := r.Results(PerfectSpec(cfg))
+		res := r.ResultsContext(ctx, PerfectSpec(cfg))
 		cs, red, err := byCategoryMPKI(base, res)
 		if err != nil {
 			return "", err
@@ -143,13 +146,13 @@ func Fig7a(r *Runner) (string, error) {
 }
 
 // Fig7b: per-category IPC gain with perfect repair across sizes.
-func Fig7b(r *Runner) (string, error) {
-	base := r.Results(BaselineSpec())
+func Fig7b(ctx context.Context, r *Runner) (string, error) {
+	base := r.ResultsContext(ctx, BaselineSpec())
 	t := &metrics.Table{Header: []string{"Category", "Loop64", "Loop128", "Loop256"}}
 	rows := map[string][]string{}
 	var cats []string
 	for _, cfg := range loopConfigs() {
-		res := r.Results(PerfectSpec(cfg))
+		res := r.ResultsContext(ctx, PerfectSpec(cfg))
 		cs, gain, err := byCategoryIPC(base, res)
 		if err != nil {
 			return "", err
@@ -167,9 +170,9 @@ func Fig7b(r *Runner) (string, error) {
 }
 
 // Fig7c: the per-workload IPC gain S-curve for Loop128 with named outliers.
-func Fig7c(r *Runner) (string, error) {
-	base := r.Results(BaselineSpec())
-	perf := r.Results(PerfectSpec(loop.Loop128()))
+func Fig7c(ctx context.Context, r *Runner) (string, error) {
+	base := r.ResultsContext(ctx, BaselineSpec())
+	perf := r.ResultsContext(ctx, PerfectSpec(loop.Loop128()))
 	pts, err := metrics.SCurve(base, perf)
 	if err != nil {
 		return "", err
@@ -194,8 +197,8 @@ func Fig7c(r *Runner) (string, error) {
 
 // Fig8: average and maximum BHT repairs required per misprediction,
 // from the perfect-repair oracle's restore diffs.
-func Fig8(r *Runner) (string, error) {
-	out := r.Run(PerfectSpec(loop.Loop128()))
+func Fig8(ctx context.Context, r *Runner) (string, error) {
+	out := r.RunContext(ctx, PerfectSpec(loop.Loop128()))
 	type row struct {
 		name string
 		avg  float64
@@ -231,11 +234,11 @@ func Fig8(r *Runner) (string, error) {
 }
 
 // Fig9: IPC of update-at-retire and no-repair, normalized to perfect repair.
-func Fig9(r *Runner) (string, error) {
-	base := r.Results(BaselineSpec())
-	perf := r.Results(PerfectSpec(loop.Loop128()))
-	retire := r.Results(RetireUpdateSpec(loop.Loop128()))
-	none := r.Results(NoRepairSpec(loop.Loop128()))
+func Fig9(ctx context.Context, r *Runner) (string, error) {
+	base := r.ResultsContext(ctx, BaselineSpec())
+	perf := r.ResultsContext(ctx, PerfectSpec(loop.Loop128()))
+	retire := r.ResultsContext(ctx, RetireUpdateSpec(loop.Loop128()))
+	none := r.ResultsContext(ctx, NoRepairSpec(loop.Loop128()))
 	perfGain := ipcGain(base, perf)
 	cats, gr, err := byCategoryIPC(base, retire)
 	if err != nil {
@@ -261,13 +264,13 @@ func Fig9(r *Runner) (string, error) {
 }
 
 // normalizedRows renders spec rows as (MPKI redn, IPC gain, % of perfect).
-func normalizedRows(r *Runner, specs []Spec) string {
-	base := r.Results(BaselineSpec())
-	perf := r.Results(PerfectSpec(loop.Loop128()))
+func normalizedRows(ctx context.Context, r *Runner, specs []Spec) string {
+	base := r.ResultsContext(ctx, BaselineSpec())
+	perf := r.ResultsContext(ctx, PerfectSpec(loop.Loop128()))
 	perfGain := ipcGain(base, perf)
 	t := &metrics.Table{Header: []string{"Configuration", "MPKI redn", "IPC gain", "% of perfect", ""}}
 	for _, s := range specs {
-		res := r.Results(s)
+		res := r.ResultsContext(ctx, s)
 		g := ipcGain(base, res)
 		norm := 100 * g / perfGain
 		t.AddRow(s.Label, metrics.Pct(mpkiReduction(base, res)), metrics.Pct(g),
@@ -279,7 +282,7 @@ func normalizedRows(r *Runner, specs []Spec) string {
 }
 
 // Fig10: prior techniques across storage/port configurations.
-func Fig10(r *Runner) (string, error) {
+func Fig10(ctx context.Context, r *Runner) (string, error) {
 	c := loop.Loop128()
 	specs := []Spec{
 		BackwardWalkSpec(c, 64, repair.Ports{CkptRead: 64, BHTWrite: 64}),
@@ -290,11 +293,11 @@ func Fig10(r *Runner) (string, error) {
 		SnapshotSpec(c, 32, repair.Ports{CkptRead: 8, BHTWrite: 8}),
 		SnapshotSpec(c, 16, repair.Ports{CkptRead: 8, BHTWrite: 8}),
 	}
-	return normalizedRows(r, specs), nil
+	return normalizedRows(ctx, r, specs), nil
 }
 
 // Fig11: forward walk across configurations, plus coalescing.
-func Fig11(r *Runner) (string, error) {
+func Fig11(ctx context.Context, r *Runner) (string, error) {
 	c := loop.Loop128()
 	specs := []Spec{
 		ForwardWalkSpec(c, 64, repair.Ports{CkptRead: 8, BHTWrite: 4}, false),
@@ -303,23 +306,23 @@ func Fig11(r *Runner) (string, error) {
 		ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, false),
 		ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, true),
 	}
-	return normalizedRows(r, specs), nil
+	return normalizedRows(ctx, r, specs), nil
 }
 
 // Fig12: multi-stage prediction with split BHT, shared vs split PT, compared
 // with forward walk.
-func Fig12(r *Runner) (string, error) {
+func Fig12(ctx context.Context, r *Runner) (string, error) {
 	c := loop.Loop128()
 	specs := []Spec{
 		ForwardWalkSpec(c, 32, repair.Ports{CkptRead: 4, BHTWrite: 2}, false),
 		MultiStageSpec(c, 32, true),
 		MultiStageSpec(c, 32, false),
 	}
-	return normalizedRows(r, specs), nil
+	return normalizedRows(ctx, r, specs), nil
 }
 
 // Fig13: limited-PC repair scaling over the number of repaired PCs.
-func Fig13(r *Runner) (string, error) {
+func Fig13(ctx context.Context, r *Runner) (string, error) {
 	c := loop.Loop128()
 	specs := []Spec{
 		LimitedPCSpec(c, 2, 2, false),
@@ -327,14 +330,14 @@ func Fig13(r *Runner) (string, error) {
 		LimitedPCSpec(c, 8, 4, false),
 		LimitedPCSpec(c, 4, 4, true), // the "mark invalid" ablation
 	}
-	return normalizedRows(r, specs), nil
+	return normalizedRows(ctx, r, specs), nil
 }
 
 // Table3: the summary of every technique, with storage.
-func Table3(r *Runner) (string, error) {
+func Table3(ctx context.Context, r *Runner) (string, error) {
 	c := loop.Loop128()
-	base := r.Results(BaselineSpec())
-	perf := r.Results(PerfectSpec(c))
+	base := r.ResultsContext(ctx, BaselineSpec())
+	perf := r.ResultsContext(ctx, PerfectSpec(c))
 	perfGain := ipcGain(base, perf)
 
 	type entry struct {
@@ -362,7 +365,7 @@ func Table3(r *Runner) (string, error) {
 	t := &metrics.Table{Header: []string{"Configuration", "MPKI redn", "IPC gain", "% of perfect", "Storage (KB)"}}
 	t.AddRow("baseline TAGE", "0.0%", "0.0%", "0.0%", "7.1")
 	for _, e := range rows {
-		res := r.Results(e.spec)
+		res := r.ResultsContext(ctx, e.spec)
 		g := ipcGain(base, res)
 		t.AddRow(e.spec.Label, metrics.Pct(mpkiReduction(base, res)), metrics.Pct(g),
 			metrics.Pct(100*g/perfGain), kb(e.spec.Scheme))
@@ -373,12 +376,12 @@ func Table3(r *Runner) (string, error) {
 
 // Fig14a: iso-storage — TAGE grown to 9KB vs TAGE(7.1KB) + CBPw-Loop128 with
 // forward-walk repair.
-func Fig14a(r *Runner) (string, error) {
-	base := r.Results(BaselineSpec())
+func Fig14a(ctx context.Context, r *Runner) (string, error) {
+	base := r.ResultsContext(ctx, BaselineSpec())
 	t := &metrics.Table{Header: []string{"Configuration", "IPC gain vs TAGE-8KB"}}
-	iso := r.Results(Iso9KBSpec())
-	fwd := r.Results(PaperForwardWalk(loop.Loop128()))
-	perf := r.Results(PerfectSpec(loop.Loop128()))
+	iso := r.ResultsContext(ctx, Iso9KBSpec())
+	fwd := r.ResultsContext(ctx, PaperForwardWalk(loop.Loop128()))
+	perf := r.ResultsContext(ctx, PerfectSpec(loop.Loop128()))
 	t.AddRow("TAGE scaled to 9KB", metrics.Pct(ipcGain(base, iso)))
 	t.AddRow("TAGE 7.1KB + Loop128 + forward walk", metrics.Pct(ipcGain(base, fwd)))
 	t.AddRow("TAGE 7.1KB + Loop128 + perfect repair", metrics.Pct(ipcGain(base, perf)))
@@ -386,9 +389,9 @@ func Fig14a(r *Runner) (string, error) {
 }
 
 // Fig14b: CBPw-Loop on the 57KB TAGE baseline, across repair schemes.
-func Fig14b(r *Runner) (string, error) {
+func Fig14b(ctx context.Context, r *Runner) (string, error) {
 	c := loop.Loop128()
-	base57 := r.Results(Big57Spec("baseline", nil))
+	base57 := r.ResultsContext(ctx, Big57Spec("baseline", nil))
 	specs := []struct {
 		label string
 		mk    SchemeMaker
@@ -402,7 +405,7 @@ func Fig14b(r *Runner) (string, error) {
 	}
 	t := &metrics.Table{Header: []string{"Configuration", "MPKI redn", "IPC gain vs TAGE-57KB"}}
 	for _, s := range specs {
-		res := r.Results(Big57Spec(s.label, s.mk))
+		res := r.ResultsContext(ctx, Big57Spec(s.label, s.mk))
 		t.AddRow("tage57+"+s.label, metrics.Pct(mpkiReduction(base57, res)), metrics.Pct(ipcGain(base57, res)))
 	}
 	return t.String(), nil

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"localbp/internal/bpu/loop"
 	"localbp/internal/bpu/yehpatt"
 	"localbp/internal/metrics"
@@ -24,8 +26,8 @@ func YehPattSpec(label string, mk func(lp loop.LocalPredictor) repair.Scheme) Sp
 
 // Ext1 compares the loop predictor and the generic local predictor under
 // no repair, forward-walk repair and perfect repair.
-func Ext1(r *Runner) (string, error) {
-	base := r.Results(BaselineSpec())
+func Ext1(ctx context.Context, r *Runner) (string, error) {
+	base := r.ResultsContext(ctx, BaselineSpec())
 	p42 := repair.Ports{CkptRead: 4, BHTWrite: 2}
 
 	rows := []struct {
@@ -47,7 +49,7 @@ func Ext1(r *Runner) (string, error) {
 	}
 	t := &metrics.Table{Header: []string{"Configuration", "MPKI redn", "IPC gain"}}
 	for _, row := range rows {
-		res := r.Results(row.spec)
+		res := r.ResultsContext(ctx, row.spec)
 		t.AddRow(row.label, metrics.Pct(mpkiReduction(base, res)), metrics.Pct(ipcGain(base, res)))
 	}
 	return t.String(), nil

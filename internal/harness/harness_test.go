@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -172,7 +173,7 @@ func TestFig8Output(t *testing.T) {
 		t.Skip("integration test")
 	}
 	r := NewRunner(Options{Insts: 40_000, Quick: true})
-	out, err := Fig8(r)
+	out, err := Fig8(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestNormalizedRowsRenderBars(t *testing.T) {
 		t.Skip("integration test")
 	}
 	r := NewRunner(Options{Insts: 30_000, Quick: true})
-	out, err := Fig13(r)
+	out, err := Fig13(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

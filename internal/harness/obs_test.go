@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -91,7 +92,7 @@ func TestRunnerParallelObs(t *testing.T) {
 // TestCPIStackTable checks the rendered ext2 artifact: one row per
 // category, every bucket column present.
 func TestCPIStackTable(t *testing.T) {
-	out, err := CPIStackTable(Options{Insts: 15_000, Quick: true}, "forward-coalesce")
+	out, err := CPIStackTable(context.Background(), Options{Insts: 15_000, Quick: true}, "forward-coalesce")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,11 +4,13 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"localbp/internal/audit"
 	"localbp/internal/bpu"
@@ -186,6 +188,15 @@ var forceAudit = sync.OnceValue(func() bool { return os.Getenv("LBP_AUDIT") == "
 // errors.Is against core.ErrStalled / audit.ErrIntegrity) instead of an
 // infinite loop or panic. Repair stats are nil for the baseline.
 func RunTraceChecked(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, error) {
+	return RunTraceContext(context.Background(), tr, spec)
+}
+
+// RunTraceContext is RunTraceChecked under a context: cancellation or a
+// deadline aborts the simulation within one cancellation-check stride with
+// an error matching context.Canceled / context.DeadlineExceeded /
+// core.ErrCanceled. The context checks are read-only — a run that completes
+// is bit-identical to RunTraceChecked.
+func RunTraceContext(ctx context.Context, tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, error) {
 	if forceAudit() && spec.Inject == nil {
 		spec.Audit, spec.Golden = true, true
 	}
@@ -236,7 +247,7 @@ func RunTraceChecked(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, err
 		inj.AttachTAGE(unit.Tage)
 	}
 	c := core.New(cfg, unit, tr)
-	st, err := c.RunChecked()
+	st, err := c.RunContext(ctx)
 	if err != nil {
 		return st, nil, err
 	}
@@ -262,6 +273,30 @@ type Options struct {
 	// disables sampling; 1 audits everything. Audited runs report
 	// bit-identical statistics, so memoized results are unaffected.
 	AuditSample int
+
+	// Retries is how many times a ClassTransient failure (stall, integrity
+	// trip, panic, injected chaos fault) is re-attempted per workload run.
+	// Retries reuse the cached trace and build a fresh scheme, so a retried
+	// run that succeeds is bit-identical to one that succeeded first try.
+	// Permanent and canceled failures are never retried.
+	Retries int
+
+	// RunTimeout, when > 0, bounds each workload attempt's wall-clock time
+	// via a per-attempt context deadline. It composes with the core's
+	// cycle-domain watchdog: whichever trips first aborts the attempt.
+	RunTimeout time.Duration
+
+	// Backoff, when non-nil, returns the delay before retry attempt
+	// `attempt` (1-based: the delay before the second attempt has
+	// attempt=1) of spec × workload. The sleep respects the run context.
+	// Nil means retry immediately.
+	Backoff func(spec, workload string, attempt int) time.Duration
+
+	// Chaos, when non-nil, deterministically fails the leading attempts of
+	// selected runs with ErrInjected (see ChaosPlan) to exercise the retry
+	// machinery; with Retries >= Chaos.MaxFaults every run still completes,
+	// bit-identically to an un-chaosed sweep.
+	Chaos *ChaosPlan
 }
 
 // DefaultOptions balances fidelity and single-CPU runtime.
@@ -287,21 +322,33 @@ func (o Options) workers() int {
 // when provided via cache (keyed by workload name and length). A failed
 // workload yields a zero-metric Result and a structured *RunError; the rest
 // of the suite still runs, and the joined errors are returned alongside.
-// Sweeps wanting memoization and parallelism use Runner.Run.
-func RunSuite(o Options, spec Spec, cache *TraceCache) ([]metrics.Result, error) {
+// Context cancellation stops the remaining workloads with ClassCanceled
+// RunErrors. Sweeps wanting memoization and parallelism use Runner.RunContext.
+func RunSuite(ctx context.Context, o Options, spec Spec, cache *TraceCache) ([]metrics.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ws := o.suite()
 	out := make([]metrics.Result, len(ws))
 	var errs []error
 	for i, w := range ws {
 		out[i] = metrics.Result{Workload: w.Name, Category: w.Category.String()}
-		tr, err := cache.Get(w, o.Insts)
-		if err != nil {
-			errs = append(errs, &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseGenerate, Err: err})
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, &RunError{Workload: w.Name, SpecLabel: spec.Label,
+				Phase: PhaseCanceled, Err: err, Class: ClassCanceled, Attempts: 0})
 			continue
 		}
-		st, _, err := RunTraceChecked(tr, spec)
+		tr, err := cache.Get(w, o.Insts)
 		if err != nil {
-			errs = append(errs, &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseSimulate, Err: err})
+			errs = append(errs, &RunError{Workload: w.Name, SpecLabel: spec.Label,
+				Phase: PhaseGenerate, Err: err, Class: ClassPermanent, Attempts: 1})
+			continue
+		}
+		st, _, err := RunTraceContext(ctx, tr, spec)
+		if err != nil {
+			re := &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseSimulate, Err: err, Attempts: 1}
+			re.Class = Classify(re)
+			errs = append(errs, re)
 			continue
 		}
 		out[i].IPC = st.IPC()

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"localbp/internal/metrics"
 	"localbp/internal/repair"
@@ -61,13 +63,26 @@ func (r *Runner) Failures() []*RunError {
 	return out
 }
 
-// Run executes spec over the whole suite (memoized by spec label).
+// Run executes spec over the whole suite (memoized by spec label) under a
+// background context; see RunContext.
+func (r *Runner) Run(spec Spec) []Outcome { return r.RunContext(context.Background(), spec) }
+
+// RunContext executes spec over the whole suite (memoized by spec label).
 //
 // The spec is validated first: a malformed configuration fails every
 // outcome with a PhaseValidate RunError before any simulation starts.
 // Individual workload failures (panics, stalls) are isolated into their
-// Outcome.Err; the remaining workloads still produce results.
-func (r *Runner) Run(spec Spec) []Outcome {
+// Outcome.Err; the remaining workloads still produce results, and
+// ClassTransient failures are re-attempted up to Options.Retries times.
+//
+// Cancelling ctx drains the worker pool: every not-yet-started workload
+// (and any attempt in flight, within one cancellation-check stride) yields
+// a ClassCanceled outcome, and the partially-run spec is NOT memoized —
+// a later RunContext with a live context re-runs it in full.
+func (r *Runner) RunContext(ctx context.Context, spec Spec) []Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r.mu.Lock()
 	if out, ok := r.memo[spec.Label]; ok {
 		r.mu.Unlock()
@@ -84,9 +99,10 @@ func (r *Runner) Run(spec Spec) []Outcome {
 	if err := spec.Validate(); err != nil {
 		for i, w := range ws {
 			out[i].Result = metrics.Result{Workload: w.Name, Category: w.Category.String()}
-			out[i].Err = &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseValidate, Err: err}
+			out[i].Err = &RunError{Workload: w.Name, SpecLabel: spec.Label,
+				Phase: PhaseValidate, Err: err, Attempts: 1, Class: ClassPermanent}
 		}
-		r.finish(spec, out)
+		r.finish(ctx, spec, out)
 		return out
 	}
 
@@ -101,7 +117,7 @@ func (r *Runner) Run(spec Spec) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = r.runOne(i, ws[i], spec)
+				out[i] = r.runOne(ctx, i, ws[i], spec)
 			}
 		}()
 	}
@@ -111,17 +127,65 @@ func (r *Runner) Run(spec Spec) []Outcome {
 	close(idx)
 	wg.Wait()
 
-	r.finish(spec, out)
+	r.finish(ctx, spec, out)
 	return out
 }
 
-// runOne executes one workload under spec, converting panics and watchdog
-// errors into a structured Outcome.Err. The deferred recover is the
-// isolation boundary: a panicking predictor, scheme or core kills only this
-// outcome, not the sweep. Workload index i drives the deterministic audit
-// sample (Options.AuditSample): audited runs report bit-identical metrics,
-// so sampling composes with memoization.
-func (r *Runner) runOne(i int, w workloads.Workload, spec Spec) (o Outcome) {
+// runOne executes one workload under spec with the retry policy: transient
+// failures (stalls, integrity trips, panics, chaos faults) are re-attempted
+// up to Options.Retries times with optional backoff; permanent and canceled
+// failures return immediately. A per-attempt deadline that expires while
+// the sweep context is still live classifies as transient — the timeout may
+// have been machine load — whereas a canceled sweep context stops the run
+// for good.
+func (r *Runner) runOne(ctx context.Context, i int, w workloads.Workload, spec Spec) Outcome {
+	maxAttempts := max(1, r.Opts.Retries+1)
+	chaosFaults := r.Opts.Chaos.FaultyAttempts(spec.Label, w.Name)
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Outcome{
+				Result: metrics.Result{Workload: w.Name, Category: w.Category.String()},
+				Err: &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseCanceled,
+					Err: err, Attempts: attempt - 1, Class: ClassCanceled},
+			}
+		}
+		o := r.attemptOne(ctx, i, w, spec, attempt, chaosFaults)
+		if o.Err == nil {
+			return o
+		}
+		o.Err.Attempts = attempt
+		o.Err.Class = Classify(o.Err)
+		if o.Err.Class == ClassCanceled && ctx.Err() == nil {
+			// The per-attempt RunTimeout expired but the sweep is alive:
+			// retryable.
+			o.Err.Class = ClassTransient
+		}
+		if o.Err.Class != ClassTransient {
+			return o
+		}
+		if attempt >= maxAttempts {
+			if r.Opts.Retries > 0 {
+				o.Err.Class = ClassExhausted
+			}
+			return o
+		}
+		if bo := r.Opts.Backoff; bo != nil {
+			if d := bo(spec.Label, w.Name, attempt); d > 0 {
+				sleepCtx(ctx, d)
+			}
+		}
+	}
+}
+
+// attemptOne executes a single attempt of one workload under spec,
+// converting panics and watchdog errors into a structured Outcome.Err. The
+// deferred recover is the isolation boundary: a panicking predictor, scheme
+// or core kills only this outcome, not the sweep. Workload index i drives
+// the deterministic audit sample (Options.AuditSample): audited runs report
+// bit-identical metrics, so sampling composes with memoization. Chaos-plan
+// faults fire before the simulation starts, so a later clean attempt is
+// bit-identical to a first-try success.
+func (r *Runner) attemptOne(ctx context.Context, i int, w workloads.Workload, spec Spec, attempt, chaosFaults int) (o Outcome) {
 	if n := r.Opts.AuditSample; n > 0 && i%n == 0 {
 		spec.Audit, spec.Golden = true, true
 	}
@@ -148,10 +212,21 @@ func (r *Runner) runOne(i int, w workloads.Workload, spec Spec) (o Outcome) {
 	}
 
 	phase = PhaseSimulate
+	if attempt <= chaosFaults {
+		o.Err = &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseSimulate,
+			Err: fmt.Errorf("%w: chaos plan fails attempt %d/%d", ErrInjected, attempt, chaosFaults)}
+		return o
+	}
 	if spec.preRun != nil {
 		spec.preRun(w.Name)
 	}
-	st, rst, err := RunTraceChecked(tr, spec)
+	actx := ctx
+	if r.Opts.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, r.Opts.RunTimeout)
+		defer cancel()
+	}
+	st, rst, err := RunTraceContext(actx, tr, spec)
 	if err != nil {
 		o.Err = &RunError{Workload: w.Name, SpecLabel: spec.Label, Phase: PhaseSimulate, Err: err}
 		return o
@@ -165,28 +240,80 @@ func (r *Runner) runOne(i int, w workloads.Workload, spec Spec) (o Outcome) {
 	return o
 }
 
+// sleepCtx waits d or until ctx is canceled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
 // finish memoizes the outcomes, records failures in workload order, and
-// logs the N/M degradation summary when any run failed.
-func (r *Runner) finish(spec Spec, out []Outcome) {
+// logs the N/M degradation summary when any run failed. A canceled run
+// poisons neither the memo nor the failure record: the spec re-runs in
+// full under a live context, and cancellations are not failures.
+func (r *Runner) finish(ctx context.Context, spec Spec, out []Outcome) {
 	var failed []*RunError
+	canceled := 0
 	for i := range out {
-		if out[i].Err != nil {
-			failed = append(failed, out[i].Err)
+		e := out[i].Err
+		if e == nil {
+			continue
 		}
+		if e.Class == ClassCanceled {
+			canceled++
+			continue
+		}
+		failed = append(failed, e)
 	}
 	r.mu.Lock()
-	r.memo[spec.Label] = out
+	if ctx.Err() == nil && canceled == 0 {
+		r.memo[spec.Label] = out
+	}
 	r.failures = append(r.failures, failed...)
 	r.mu.Unlock()
 	if len(failed) > 0 {
-		r.logf("spec %s: %d/%d workload runs FAILED (first: %v)\n",
-			spec.Label, len(failed), len(out), failed[0].Err)
+		r.logf("spec %s: %d/%d workload runs FAILED (%s; first: %v)\n",
+			spec.Label, len(failed), len(out), classSummary(failed), failed[0].Err)
 	}
+	if canceled > 0 {
+		r.logf("spec %s: %d/%d workload runs canceled (spec not memoized)\n",
+			spec.Label, canceled, len(out))
+	}
+}
+
+// classSummary renders failure counts by retry class, e.g.
+// "2 permanent, 1 retry-exhausted".
+func classSummary(failed []*RunError) string {
+	counts := map[ErrorClass]int{}
+	for _, f := range failed {
+		counts[f.Class]++
+	}
+	var b []byte
+	for _, c := range []ErrorClass{ClassPermanent, ClassTransient, ClassExhausted, ClassCanceled} {
+		if n := counts[c]; n > 0 {
+			if len(b) > 0 {
+				b = append(b, ", "...)
+			}
+			b = fmt.Appendf(b, "%d %s", n, c)
+		}
+	}
+	if len(b) == 0 {
+		return "unclassified"
+	}
+	return string(b)
 }
 
 // Results extracts the metrics side of Run.
 func (r *Runner) Results(spec Spec) []metrics.Result {
-	out := r.Run(spec)
+	return r.ResultsContext(context.Background(), spec)
+}
+
+// ResultsContext extracts the metrics side of RunContext.
+func (r *Runner) ResultsContext(ctx context.Context, spec Spec) []metrics.Result {
+	out := r.RunContext(ctx, spec)
 	rs := make([]metrics.Result, len(out))
 	for i := range out {
 		rs[i] = out[i].Result

@@ -1,0 +1,398 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"localbp"
+	"localbp/internal/harness"
+)
+
+// Daemon defaults; DaemonConfig zero values resolve to these.
+const (
+	defaultQueueDepth = 64
+	defaultDrainGrace = 30 * time.Second
+)
+
+// Daemon errors surfaced by Submit.
+var (
+	// ErrDraining rejects submissions once shutdown has begun.
+	ErrDraining = errors.New("service: daemon is draining")
+	// ErrQueueFull rejects submissions when the bounded queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+)
+
+// JobState is the lifecycle of one submitted job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// JobRequest describes one simulation to run.
+type JobRequest struct {
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Insts    int    `json:"insts"`
+	// Seed overrides the workload's trace-generation seed; 0 keeps the
+	// workload default.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutSec caps this job's wall clock; 0 uses the daemon default, and
+	// the daemon default is always an upper bound.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// JobView is the externally visible state of a job.
+type JobView struct {
+	ID       string          `json:"id"`
+	State    JobState        `json:"state"`
+	Request  JobRequest      `json:"request"`
+	Attempts int             `json:"attempts,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Class    string          `json:"class,omitempty"` // retry classification of Error
+	Result   *localbp.Result `json:"result,omitempty"`
+	Queued   time.Time       `json:"queued"`
+	Started  time.Time       `json:"started"`
+	Finished time.Time       `json:"finished"`
+}
+
+type job struct {
+	id       string
+	req      JobRequest
+	state    JobState
+	attempts int
+	err      error
+	class    string
+	result   *localbp.Result
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// DaemonConfig parameterizes NewDaemon. Zero values mean: one worker, a
+// 64-deep queue, no per-job timeout cap, a 30 s drain grace, and no retries.
+type DaemonConfig struct {
+	// Workers is the number of concurrent job executors (min 1).
+	Workers int
+	// QueueDepth bounds the pending-job queue; Submit fails fast with
+	// ErrQueueFull beyond it.
+	QueueDepth int
+	// JobTimeout caps each job's wall clock, including retries. Per-request
+	// timeouts are clamped to it.
+	JobTimeout time.Duration
+	// DrainGrace bounds how long Run waits for in-flight and queued jobs
+	// after shutdown begins; past it, remaining jobs are canceled.
+	DrainGrace time.Duration
+	// Retry is the per-job retry policy; the zero value runs each job once.
+	Retry RetryPolicy
+}
+
+// Daemon is a minimal long-running simulation service: jobs are submitted
+// over HTTP (or Submit), executed by a bounded worker pool under per-job
+// timeouts and classified retry, and drained gracefully on shutdown.
+type Daemon struct {
+	cfg DaemonConfig
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for GET /jobs
+	queue    chan *job
+	draining bool
+	nextID   int
+
+	// execCtx governs job execution; execCancel fires when the drain grace
+	// expires, aborting whatever is still running.
+	execCtx    context.Context
+	execCancel context.CancelFunc
+}
+
+// NewDaemon builds a daemon; call Run to start its workers.
+func NewDaemon(cfg DaemonConfig) *Daemon {
+	cfg.Workers = max(1, cfg.Workers)
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = defaultDrainGrace
+	}
+	execCtx, execCancel := context.WithCancel(context.Background())
+	return &Daemon{
+		cfg:        cfg,
+		jobs:       map[string]*job{},
+		queue:      make(chan *job, cfg.QueueDepth),
+		execCtx:    execCtx,
+		execCancel: execCancel,
+	}
+}
+
+// Run executes jobs until ctx is canceled, then drains: no new submissions
+// are accepted, queued and in-flight jobs get DrainGrace to finish, and
+// whatever remains past the grace is canceled. Run returns once every worker
+// has exited.
+func (d *Daemon) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for range d.cfg.Workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range d.queue {
+				d.execute(j)
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	d.mu.Lock()
+	d.draining = true
+	close(d.queue) // safe: Submit checks draining under the same lock
+	d.mu.Unlock()
+
+	grace := time.AfterFunc(d.cfg.DrainGrace, d.execCancel)
+	wg.Wait()
+	grace.Stop()
+	d.execCancel()
+}
+
+// Submit validates and enqueues a job, returning its id. It fails fast with
+// ErrDraining after shutdown has begun and ErrQueueFull when the queue is at
+// capacity.
+func (d *Daemon) Submit(req JobRequest) (string, error) {
+	if _, ok := localbp.Workload(req.Workload); !ok {
+		return "", fmt.Errorf("service: unknown workload %q", req.Workload)
+	}
+	if _, err := localbp.SchemeByName(req.Scheme); err != nil {
+		return "", fmt.Errorf("service: unknown scheme %q", req.Scheme)
+	}
+	if req.Insts <= 0 {
+		return "", fmt.Errorf("service: insts %d, want > 0", req.Insts)
+	}
+	if req.TimeoutSec < 0 {
+		return "", fmt.Errorf("service: timeout_sec %g, want >= 0", req.TimeoutSec)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return "", ErrDraining
+	}
+	d.nextID++
+	j := &job{
+		id:     fmt.Sprintf("job-%04d", d.nextID),
+		req:    req,
+		state:  JobQueued,
+		queued: time.Now(),
+	}
+	select {
+	case d.queue <- j:
+	default:
+		d.nextID--
+		return "", ErrQueueFull
+	}
+	d.jobs[j.id] = j
+	d.order = append(d.order, j.id)
+	return j.id, nil
+}
+
+// Job returns the visible state of one job.
+func (d *Daemon) Job(id string) (JobView, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// Jobs returns every job in submission order.
+func (d *Daemon) Jobs() []JobView {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	views := make([]JobView, 0, len(d.order))
+	for _, id := range d.order {
+		views = append(views, d.jobs[id].view())
+	}
+	return views
+}
+
+// view renders the job; callers hold d.mu.
+func (j *job) view() JobView {
+	v := JobView{
+		ID:       j.id,
+		State:    j.state,
+		Request:  j.req,
+		Attempts: j.attempts,
+		Class:    j.class,
+		Result:   j.result,
+		Queued:   j.queued,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	return v
+}
+
+// jobTimeout resolves the effective wall-clock cap for a request: the
+// per-request timeout clamped to the daemon-wide cap.
+func (d *Daemon) jobTimeout(req JobRequest) time.Duration {
+	t := d.cfg.JobTimeout
+	if req.TimeoutSec > 0 {
+		rt := time.Duration(req.TimeoutSec * float64(time.Second))
+		if t <= 0 || rt < t {
+			t = rt
+		}
+	}
+	return t
+}
+
+// execute runs one job to completion under the daemon's execution context,
+// the job's timeout and the retry policy.
+func (d *Daemon) execute(j *job) {
+	d.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	d.mu.Unlock()
+
+	jctx := d.execCtx
+	var cancel context.CancelFunc
+	if t := d.jobTimeout(j.req); t > 0 {
+		jctx, cancel = context.WithTimeout(jctx, t)
+		defer cancel()
+	}
+
+	var res localbp.Result
+	attempts, err := d.cfg.Retry.Do(jctx, j.id, func(ctx context.Context) error {
+		w, _ := localbp.Workload(j.req.Workload)
+		s, serr := localbp.SchemeByName(j.req.Scheme)
+		if serr != nil {
+			return serr
+		}
+		opts := []localbp.Option{localbp.WithContext(ctx)}
+		if j.req.Seed != 0 {
+			opts = append(opts, localbp.WithSeed(j.req.Seed))
+		}
+		r, rerr := localbp.Simulate(w, j.req.Insts, s, opts...)
+		if rerr == nil {
+			res = r
+		}
+		return rerr
+	})
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j.attempts = attempts
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = &res
+	case jctx.Err() != nil:
+		j.state = JobCanceled
+		j.err = err
+		j.class = string(harness.ClassCanceled)
+	default:
+		j.state = JobFailed
+		j.err = err
+		j.class = string(classifyJob(err, attempts, d.cfg.Retry))
+	}
+}
+
+// classifyJob folds the retry budget into the harness classification: a
+// transient error that survived every attempt reports retry-exhausted.
+func classifyJob(err error, attempts int, p RetryPolicy) string {
+	c := harness.Classify(err)
+	if c == harness.ClassTransient && attempts >= p.attempts() && p.attempts() > 1 {
+		return string(harness.ClassExhausted)
+	}
+	return string(c)
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /jobs             submit {workload, scheme, insts, seed?, timeout_sec?} → {id}
+//	GET  /jobs             list all jobs
+//	GET  /jobs/{id}        one job's state
+//	GET  /jobs/{id}/result the result (409 until the job finishes)
+//	GET  /healthz          liveness + drain state
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+			return
+		}
+		id, err := d.Submit(req)
+		switch {
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrQueueFull):
+			httpError(w, http.StatusTooManyRequests, err)
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+		}
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := d.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := d.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		switch v.State {
+		case JobDone:
+			writeJSON(w, http.StatusOK, v.Result)
+		case JobFailed, JobCanceled:
+			writeJSON(w, http.StatusOK, map[string]string{
+				"state": string(v.State), "error": v.Error, "class": v.Class,
+			})
+		default:
+			httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s", v.ID, v.State))
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		draining := d.draining
+		pending := len(d.queue)
+		d.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "draining": draining, "queued": pending,
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

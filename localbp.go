@@ -27,6 +27,7 @@
 package localbp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -217,6 +218,7 @@ const (
 type Option func(*simConfig)
 
 type simConfig struct {
+	ctx       context.Context
 	auditOn   bool
 	golden    bool
 	seed      int64
@@ -227,6 +229,17 @@ type simConfig struct {
 	traceCap  int
 	observer  func(Event)
 	maxCycles int64
+}
+
+// WithContext runs the simulation under ctx: cancellation or a deadline
+// aborts the run within one cancellation-check stride with a structured
+// error (errors.Is matches context.Canceled / context.DeadlineExceeded and
+// the core.ErrCanceled sentinel). The wall-clock deadline composes with the
+// cycle-domain watchdog (WithMaxCycles): whichever bound trips first wins.
+// The context checks are read-only — a run that completes is bit-identical
+// to one without a context.
+func WithContext(ctx context.Context) Option {
+	return func(c *simConfig) { c.ctx = ctx }
 }
 
 // WithAudit enables the integrity auditor: read-only invariant checks over
@@ -398,7 +411,11 @@ func simulate(tr []trace.Inst, s Scheme, sc simConfig) (Result, error) {
 	unit := bpu.NewUnit(tage.KB8(), scheme)
 	unit.Oracle = def.Oracle
 	c := core.New(ccfg, unit, tr)
-	st, err := c.RunChecked()
+	ctx := sc.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st, err := c.RunContext(ctx)
 	if err != nil {
 		return Result{}, err
 	}
