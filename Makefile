@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race audit bench-json bench-pr5 bench-compare fuzz-smoke ci stress
+.PHONY: check build vet test race audit bench-json bench-pr5 bench-compare fuzz-smoke daemon-smoke ci stress
 
 # check is the CI gate: static analysis plus the full suite under the race
 # detector (the parallel sweep runner is on by default).
@@ -11,10 +11,16 @@ build:
 
 # vet also runs the allocation guards: the obs layer's cost must be a fixed
 # setup delta, and the core loop's allocations must be per-run setup only —
-# never per-cycle, per-branch or per-event work.
+# never per-cycle, per-branch or per-event work. staticcheck and govulncheck
+# run when installed (the build must not require fetching them); install
+# locally for the full gate.
 vet:
 	$(GO) vet ./...
 	$(GO) test -run 'TestObsAllocGuard|TestCoreLoopAllocGuard' -count=1 .
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "vet: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "vet: govulncheck not installed, skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -57,14 +63,23 @@ fuzz-smoke:
 # bench-compare exercise: fresh numbers are measured and run through the
 # regression gate end-to-end (self-compare — cross-machine ns/op gating
 # belongs in `make bench-compare` against a locally pinned baseline).
-ci: build vet race fuzz-smoke
+# daemon-smoke is the end-to-end lbpd check (< 30 s): build the real binary,
+# submit a job, stream progress over SSE, SIGKILL it mid-run, restart on the
+# same journal, verify exactly-once completion + cache hit + clean drain.
+daemon-smoke:
+	$(GO) test -run TestDaemonSmoke -count=1 -v ./cmd/lbpd
+
+ci: build vet race daemon-smoke fuzz-smoke
 	$(GO) run ./cmd/lbpbench -insts 60000 -out BENCH_ci.json
 	$(GO) run ./cmd/lbpbench -compare -old BENCH_ci.json -new BENCH_ci.json
 	rm -f BENCH_ci.json
 
-# stress loops the SIGINT crash-safety subprocess test under the race
-# detector: interrupt a live sweep, verify the checkpoint, resume, verify
-# zero lost or duplicated results. N controls the iteration count.
+# stress loops the crash-safety subprocess suites under the race detector:
+# interrupt a live sweep (checkpoint resume, zero lost/duplicated results)
+# and chaos-test the daemon (SIGKILL restarts over the journal, queue
+# floods answered with 429s, mid-stream SSE disconnects). N controls the
+# iteration count.
 N ?= 5
 stress:
 	$(GO) test -race -run TestSweepSIGINTResume -count=$(N) -v ./cmd/lbpsweep
+	$(GO) test -race -run TestDaemonChaos -count=$(N) -timeout 60m -v ./internal/daemonchaos

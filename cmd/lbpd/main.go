@@ -1,26 +1,49 @@
-// Command lbpd is a minimal simulation daemon: it accepts branch-predictor
-// simulation jobs over HTTP, executes them on a bounded worker pool with
-// per-job timeouts and classified retry, and drains gracefully on
-// SIGINT/SIGTERM.
+// Command lbpd is a production-shaped simulation daemon: it accepts
+// branch-predictor simulation jobs over HTTP, deduplicates them through a
+// single-flight result cache, journals every submission and outcome for
+// crash durability, executes them on a bounded worker pool with per-job
+// timeouts and classified retry, sheds load under memory pressure, streams
+// progress over SSE, and drains gracefully on SIGINT/SIGTERM.
 //
 // Usage:
 //
-//	lbpd [-addr :8090] [-workers N] [-queue N] [-job-timeout D] [-retries N] [-drain-grace D]
+//	lbpd [-addr :8090] [-workers N] [-queue N] [-job-timeout D] [-retries N]
+//	     [-drain-grace D] [-journal PATH] [-mem-highwater-mb N]
+//	     [-client-inflight N] [-heartbeat D]
 //
 // API:
 //
 //	POST /jobs             {"workload": "...", "scheme": "...", "insts": N,
-//	                        "seed": N?, "timeout_sec": S?} → 202 {"id": "job-0001"}
-//	GET  /jobs             all jobs, submission order
-//	GET  /jobs/{id}        one job's state (queued/running/done/failed/canceled)
+//	                        "seed": N?, "timeout_sec": S?}
+//	                       → 202 {"id": "job-0001"}; 200 {"id", "cached": true}
+//	                       when an identical finished job answers from cache;
+//	                       202 {"id", "coalesced": true} when it coalesces
+//	                       onto an identical in-flight job; 429 + Retry-After
+//	                       when the queue, the client's in-flight cap or the
+//	                       memory watermark rejects it
+//	GET  /jobs             {"total": N, "jobs": [...]} (?state= filter,
+//	                       ?limit= cap, default 100)
+//	GET  /jobs/{id}        one job's state
+//	                       (queued/running/done/failed/canceled/shed)
 //	GET  /jobs/{id}/result the finished job's Result (409 while pending)
-//	GET  /healthz          {"ok": true, "draining": bool, "queued": N}
+//	GET  /jobs/{id}/events SSE stream: state transitions, batched progress,
+//	                       heartbeat comments
+//	GET  /healthz          liveness: 200 while the process serves
+//	GET  /readyz           readiness: 503 while draining or saturated
+//	GET  /metrics          service counter snapshot
+//
+// With -journal, a restarted daemon replays the journal: finished jobs keep
+// serving their results and unfinished jobs re-enter the queue.
 //
 // Shutdown: on the first SIGINT/SIGTERM the HTTP listener stops accepting
 // new connections and submissions are rejected with 503; queued and
 // in-flight jobs get -drain-grace to finish, after which the remaining jobs
 // are canceled (their state reports "canceled"). A second signal kills the
-// process immediately. Exit code 0 after a clean drain.
+// process immediately.
+//
+// Exit codes: 0 after a clean drain; 2 on a configuration or HTTP-server
+// error (including one that surfaces during shutdown); 4 when jobs were
+// canceled past the grace period.
 package main
 
 import (
@@ -43,22 +66,42 @@ func main() { os.Exit(run()) }
 func run() int {
 	addr := flag.String("addr", ":8090", "HTTP listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job executors")
-	queue := flag.Int("queue", 64, "pending-job queue depth (submissions beyond it fail fast)")
+	queue := flag.Int("queue", 64, "pending-job queue depth (submissions beyond it get 429)")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "wall-clock cap per job including retries (0 = none)")
 	retries := flag.Int("retries", 2, "retry budget for transiently failed jobs")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for jobs before canceling them")
+	journal := flag.String("journal", "", "durable job-journal path (empty = no durability)")
+	memHighMB := flag.Int("mem-highwater-mb", 0, "heap high-watermark in MiB; above it submissions get 429 and queued jobs are shed (0 = off)")
+	clientInflight := flag.Int("client-inflight", 0, "per-client cap on queued+running jobs (0 = unlimited)")
+	heartbeat := flag.Duration("heartbeat", 15*time.Second, "SSE keep-alive period")
 	flag.Parse()
 
 	policy := service.DefaultRetryPolicy()
 	policy.MaxAttempts = *retries + 1
 
-	d := service.NewDaemon(service.DaemonConfig{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		DrainGrace: *drainGrace,
-		Retry:      policy,
+	d, err := service.NewDaemon(service.DaemonConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTimeout,
+		DrainGrace:     *drainGrace,
+		Retry:          policy,
+		Journal:        *journal,
+		MemHighWater:   uint64(*memHighMB) << 20,
+		ClientInflight: *clientInflight,
+		Heartbeat:      *heartbeat,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpd: %v\n", err)
+		return 2
+	}
+	if *journal != "" {
+		records, truncated := d.ReplayStats()
+		fmt.Fprintf(os.Stderr, "lbpd: journal %s: replayed %d record(s)", *journal, records)
+		if truncated > 0 {
+			fmt.Fprintf(os.Stderr, ", discarded %d torn byte(s)", truncated)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -86,16 +129,31 @@ func run() int {
 	// in-flight responses; the worker pool drains in parallel.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace+5*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "lbpd: http shutdown: %v\n", err)
-	}
+	shutdownErr := srv.Shutdown(shutdownCtx)
 	<-daemonDone
 
-	canceled := 0
-	for _, j := range d.Jobs() {
-		if j.State == service.JobCanceled {
-			canceled++
+	// Surface the listener's terminal error: Shutdown makes ListenAndServe
+	// return ErrServerClosed on the happy path, so anything else (a listener
+	// that died racing the signal, an accept loop failure) is a real fault
+	// that must not exit 0.
+	exit := 0
+	select {
+	case err := <-httpErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "lbpd: http server: %v\n", err)
+			exit = 2
 		}
+	default:
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "lbpd: http shutdown: %v\n", shutdownErr)
+	}
+
+	canceled := 0
+	views, _ := d.Jobs(service.JobCanceled, 0)
+	canceled = len(views)
+	if exit != 0 {
+		return exit
 	}
 	if canceled > 0 {
 		fmt.Fprintf(os.Stderr, "lbpd: drained with %d job(s) canceled past the grace period\n", canceled)

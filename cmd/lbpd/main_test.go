@@ -1,0 +1,73 @@
+package main
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"localbp"
+	"localbp/internal/daemonchaos"
+)
+
+// TestDaemonSmoke is the end-to-end "is the daemon production-shaped" check,
+// wired into `make daemon-smoke`: build the real binary, submit a job,
+// observe progress over SSE, SIGKILL the process mid-run, restart it on the
+// same journal, and verify the job completes exactly once, answers from
+// cache on resubmission, and the daemon drains cleanly with exit 0.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test skipped in -short mode")
+	}
+	bin := daemonchaos.Build(t)
+	journal := filepath.Join(t.TempDir(), "jobs.journal")
+	h := daemonchaos.New(t, bin, journal)
+
+	h.Start("-workers", "2", "-heartbeat", "250ms")
+	h.WaitHealthy(10 * time.Second)
+	if code := h.GetJSON("/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz: %d", code)
+	}
+
+	w := localbp.Workloads()[0]
+	req := map[string]any{"workload": w.Name, "scheme": "forward-coalesce", "insts": 3_000_000}
+	code, body := h.Submit(req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %v", code, body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("submit returned no id: %v", body)
+	}
+
+	// Crash the daemon while the job is demonstrably mid-run (the stream
+	// has delivered at least one progress event), then restart on the same
+	// journal: the job must re-enter the queue and finish exactly once.
+	h.WaitProgress(id, 15*time.Second)
+	h.Kill()
+	h.Start("-workers", "2", "-heartbeat", "250ms")
+	h.WaitHealthy(10 * time.Second)
+
+	total, jobs := h.List()
+	if total != 1 || len(jobs) != 1 || jobs[0].ID != id {
+		t.Fatalf("restart lost or duplicated jobs: total=%d jobs=%+v", total, jobs)
+	}
+	v := h.WaitTerminal(id, 60*time.Second)
+	if v.State != "done" {
+		t.Fatalf("job finished %q after restart: %s\nstderr:\n%s", v.State, v.Error, h.Stderr())
+	}
+
+	// An identical submission answers 200 from cache with the same id.
+	code, body = h.Submit(req)
+	if code != http.StatusOK || body["id"] != id || body["cached"] != true {
+		t.Fatalf("resubmit not served from cache: status %d, body %v", code, body)
+	}
+	var metrics map[string]uint64
+	if code := h.GetJSON("/metrics", &metrics); code != http.StatusOK || metrics["cache.hit"] == 0 {
+		t.Fatalf("metrics: status %d, cache.hit=%d", code, metrics["cache.hit"])
+	}
+
+	if code := h.Stop(30 * time.Second); code != 0 {
+		t.Fatalf("clean drain exited %d\nstderr:\n%s", code, h.Stderr())
+	}
+}

@@ -82,7 +82,7 @@ func run() int {
 	checkpoint := flag.String("checkpoint", "", "file for checkpoint/resume of completed experiments")
 	retries := flag.Int("retries", 0, "retry budget for transiently failed workload runs")
 	timeout := flag.Duration("timeout", 0, "wall-clock cap per workload run attempt (0 = none)")
-	inject := flag.String("inject", "", "chaos injection mode: 'transient' fails leading run attempts deterministically")
+	inject := flag.String("inject", "", "chaos injection mode; accepted values: 'transient' (deterministically fail leading run attempts; pair with -retries) or empty to disable — anything else is a configuration error (exit 2)")
 	injectSeed := flag.Uint64("inject-seed", 1, "seed for the -inject chaos plan")
 	auditSample := flag.Int("audit-sample", 0, "run the integrity auditor + golden model on every Nth workload per spec (0 = off)")
 	list := flag.Bool("list", false, "list experiment ids and exit")

@@ -98,6 +98,14 @@ type Config struct {
 	// the Hooks are non-nil. With Obs nil the hot loop touches no obs symbol
 	// beyond per-cycle nil checks.
 	Obs *obs.Hooks
+
+	// Progress, when non-nil, receives the cumulative retired-instruction
+	// count at the cancellation-poll stride (every cancelCheckMask+1 loop
+	// iterations) and once more when the run completes. The hook is
+	// read-only — a run with Progress attached is bit-identical to one
+	// without — and it runs on the simulation goroutine, so implementations
+	// must be cheap (batch downstream work through an obs.Accumulator).
+	Progress func(retired uint64)
 }
 
 // DefaultStallCycles is the no-retire deadman threshold when

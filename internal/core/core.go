@@ -316,10 +316,15 @@ func (c *Core) RunContext(ctx context.Context) (Stats, error) {
 	// auditor's periodic scans are cycle-driven, so auditing disables it.
 	ff := c.cfg.Audit == nil && !c.cfg.DisableFastForward
 	for c.pos < len(c.prog) || c.robLen() > 0 || c.fqCount > 0 {
-		if done != nil && iter&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				c.stats.Cycles = c.cycle
-				return c.stats, &CancelError{Cycle: c.cycle, Insts: c.stats.Insts, Cause: err}
+		if iter&cancelCheckMask == 0 {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					c.stats.Cycles = c.cycle
+					return c.stats, &CancelError{Cycle: c.cycle, Insts: c.stats.Insts, Cause: err}
+				}
+			}
+			if c.cfg.Progress != nil {
+				c.cfg.Progress(c.stats.Insts)
 			}
 		}
 		iter++
@@ -384,6 +389,10 @@ func (c *Core) RunContext(ctx context.Context) (Stats, error) {
 		}
 	}
 	c.stats.Cycles = c.cycle
+	if c.cfg.Progress != nil {
+		// Final report: the tail since the last strided call is never lost.
+		c.cfg.Progress(c.stats.Insts)
+	}
 	if c.cpi != nil && c.cpi.Total() != c.cycle {
 		// The CPI accounting invariant: exactly one bucket per cycle, so
 		// the stack must sum to the cycle count on a completed run.

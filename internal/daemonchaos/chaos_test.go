@@ -1,0 +1,205 @@
+package daemonchaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"localbp"
+)
+
+// TestDaemonChaos is the daemon chaos suite (wired into `make stress`): a
+// race-built lbpd binary survives repeated SIGKILL/restart cycles with zero
+// lost and zero duplicated jobs and bit-identical cached results, answers a
+// queue flood with 429s instead of hung connections, and shrugs off
+// mid-stream subscriber disconnects before draining cleanly.
+func TestDaemonChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	bin := Build(t, "-race")
+	w := localbp.Workloads()[0]
+
+	t.Run("KillRestart", func(t *testing.T) {
+		journal := filepath.Join(t.TempDir(), "jobs.journal")
+		h := New(t, bin, journal)
+		h.Start("-workers", "2")
+		h.WaitHealthy(15 * time.Second)
+
+		// Six distinct jobs; the seeds keep them from coalescing.
+		const jobs = 6
+		ids := make([]string, jobs)
+		want := map[string]bool{}
+		for i := range jobs {
+			code, body := h.Submit(map[string]any{
+				"workload": w.Name, "scheme": "tage",
+				"insts": 1_000_000, "seed": i + 1,
+			})
+			if code != http.StatusAccepted {
+				t.Fatalf("submit %d: status %d body %v", i, code, body)
+			}
+			ids[i] = body["id"].(string)
+			if want[ids[i]] {
+				t.Fatalf("duplicate id %s at submit time", ids[i])
+			}
+			want[ids[i]] = true
+		}
+
+		// Crash and restart repeatedly while work is in flight. After every
+		// restart the journal must replay exactly the six submissions: none
+		// lost, none duplicated, every state legal.
+		for cycle := range 3 {
+			time.Sleep(400 * time.Millisecond)
+			h.Kill()
+			h.Start("-workers", "2")
+			h.WaitHealthy(15 * time.Second)
+			total, views := h.List()
+			if total != jobs || len(views) != jobs {
+				t.Fatalf("cycle %d: %d jobs after restart, want %d", cycle, total, jobs)
+			}
+			seen := map[string]bool{}
+			for _, v := range views {
+				if !want[v.ID] || seen[v.ID] {
+					t.Fatalf("cycle %d: unexpected or duplicated job %q", cycle, v.ID)
+				}
+				seen[v.ID] = true
+				switch v.State {
+				case "queued", "running", "done":
+				default:
+					t.Fatalf("cycle %d: job %s in state %q after restart", cycle, v.ID, v.State)
+				}
+			}
+		}
+
+		for _, id := range ids {
+			if v := h.WaitTerminal(id, 180*time.Second); v.State != "done" {
+				t.Fatalf("job %s ended %q: %s", id, v.State, v.Error)
+			}
+		}
+
+		// The daemon's stored result is bit-identical to a fresh in-process
+		// run of the same canonical request.
+		var got localbp.Result
+		if code := h.GetJSON("/jobs/"+ids[0]+"/result", &got); code != http.StatusOK {
+			t.Fatalf("result fetch: %d", code)
+		}
+		scheme, err := localbp.SchemeByName("tage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := localbp.Simulate(w, 1_000_000, scheme, localbp.WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, _ := json.Marshal(got)
+		freshJSON, _ := json.Marshal(fresh)
+		if string(gotJSON) != string(freshJSON) {
+			t.Fatalf("cached result drifted from a fresh run:\ncached: %s\nfresh:  %s", gotJSON, freshJSON)
+		}
+
+		if code := h.Stop(90 * time.Second); code != 0 {
+			t.Fatalf("drain exited %d\nstderr:\n%s", code, h.Stderr())
+		}
+	})
+
+	t.Run("FloodAndDisconnect", func(t *testing.T) {
+		journal := filepath.Join(t.TempDir(), "jobs.journal")
+		h := New(t, bin, journal)
+		h.Start("-workers", "1", "-queue", "4", "-drain-grace", "90s")
+		h.WaitHealthy(15 * time.Second)
+
+		// Flood: 40 concurrent distinct submissions against a 4-deep queue.
+		// Every request must complete promptly with 202 or 429 — a hung
+		// connection is the failure mode load shedding exists to prevent.
+		const flood = 40
+		type outcome struct {
+			code       int
+			id         string
+			retryAfter string
+		}
+		outcomes := make([]outcome, flood)
+		var wg sync.WaitGroup
+		client := &http.Client{Timeout: 10 * time.Second}
+		for i := range flood {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				body := fmt.Sprintf(`{"workload":%q,"scheme":"tage","insts":500000,"seed":%d}`,
+					w.Name, 100+i)
+				resp, err := client.Post(h.URL()+"/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					outcomes[i] = outcome{code: -1}
+					return
+				}
+				defer resp.Body.Close()
+				var m map[string]any
+				json.NewDecoder(resp.Body).Decode(&m)
+				id, _ := m["id"].(string)
+				outcomes[i] = outcome{resp.StatusCode, id, resp.Header.Get("Retry-After")}
+			}()
+		}
+		wg.Wait()
+
+		accepted, rejected := 0, 0
+		acceptedIDs := map[string]bool{}
+		for i, o := range outcomes {
+			switch o.code {
+			case http.StatusAccepted:
+				accepted++
+				if o.id == "" || acceptedIDs[o.id] {
+					t.Fatalf("flood %d: accepted without unique id: %+v", i, o)
+				}
+				acceptedIDs[o.id] = true
+			case http.StatusTooManyRequests:
+				rejected++
+				if o.retryAfter == "" {
+					t.Fatalf("flood %d: 429 without Retry-After", i)
+				}
+			case -1:
+				t.Fatalf("flood %d: request hung or failed", i)
+			default:
+				t.Fatalf("flood %d: unexpected status %d", i, o.code)
+			}
+		}
+		if rejected == 0 {
+			t.Fatalf("flood of %d against a 4-deep queue produced no 429s (accepted %d)", flood, accepted)
+		}
+		if total, _ := h.List(); total != accepted {
+			t.Fatalf("daemon holds %d jobs, accepted %d: lost or phantom work", total, accepted)
+		}
+
+		// Mid-stream disconnects: open an event stream per accepted job,
+		// then tear them all down while work is still running.
+		var cancels []context.CancelFunc
+		for id := range acceptedIDs {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancels = append(cancels, cancel)
+			body, err := h.StreamEvents(ctx, id)
+			if err != nil {
+				t.Fatalf("stream %s: %v", id, err)
+			}
+			defer body.Close()
+		}
+		time.Sleep(200 * time.Millisecond)
+		for _, cancel := range cancels {
+			cancel()
+		}
+
+		// Dropped subscribers must not stall completion: every accepted job
+		// still terminates, and the daemon drains with exit 0.
+		for id := range acceptedIDs {
+			if v := h.WaitTerminal(id, 180*time.Second); v.State != "done" {
+				t.Fatalf("job %s ended %q after disconnects: %s", id, v.State, v.Error)
+			}
+		}
+		if code := h.Stop(120 * time.Second); code != 0 {
+			t.Fatalf("drain exited %d\nstderr:\n%s", code, h.Stderr())
+		}
+	})
+}

@@ -1,0 +1,263 @@
+// Package daemonchaos drives a real lbpd subprocess for crash, flood and
+// disconnect testing. The harness builds the daemon binary once, launches it
+// against a journal and a port, and exposes the failure injections the chaos
+// suite needs: SIGKILL mid-run, restart on the same journal, connection
+// floods, and mid-stream subscriber disconnects. Tests in cmd/lbpd (the
+// smoke test) and in this package (the chaos suite) share it.
+package daemonchaos
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Build compiles cmd/lbpd into tb's temp dir and returns the binary path.
+// Extra build flags (e.g. "-race" for the chaos suite) go before -o.
+func Build(tb testing.TB, buildFlags ...string) string {
+	tb.Helper()
+	bin := filepath.Join(tb.TempDir(), "lbpd")
+	args := append(append([]string{"build"}, buildFlags...), "-o", bin, "localbp/cmd/lbpd")
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		tb.Fatalf("building lbpd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Harness manages one lbpd process generation at a time. Kill + Start on the
+// same harness models a crash and restart over the same journal.
+type Harness struct {
+	tb      testing.TB
+	bin     string
+	journal string
+	addr    string
+	base    string
+
+	cmd    *exec.Cmd
+	stderr bytes.Buffer
+	client *http.Client
+}
+
+// New builds a harness around bin and journal, reserving a listen address.
+func New(tb testing.TB, bin, journal string) *Harness {
+	tb.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	h := &Harness{
+		tb: tb, bin: bin, journal: journal, addr: addr,
+		base:   "http://" + addr,
+		client: &http.Client{Timeout: 15 * time.Second},
+	}
+	tb.Cleanup(func() {
+		if h.cmd != nil && h.cmd.Process != nil {
+			h.cmd.Process.Kill()
+			h.cmd.Wait()
+		}
+	})
+	return h
+}
+
+// URL returns the daemon's base URL.
+func (h *Harness) URL() string { return h.base }
+
+// Start launches a new daemon generation on the harness's address and
+// journal with the extra flags appended. The previous generation must have
+// exited (Kill or Stop) first.
+func (h *Harness) Start(extra ...string) {
+	h.tb.Helper()
+	if h.cmd != nil {
+		h.tb.Fatal("previous lbpd generation still attached; Kill or Stop it first")
+	}
+	args := append([]string{"-addr", h.addr, "-journal", h.journal}, extra...)
+	h.cmd = exec.Command(h.bin, args...)
+	h.stderr.Reset()
+	h.cmd.Stderr = &h.stderr
+	if err := h.cmd.Start(); err != nil {
+		h.tb.Fatalf("starting lbpd: %v", err)
+	}
+}
+
+// WaitHealthy polls /healthz until the daemon answers or the timeout ends.
+func (h *Harness) WaitHealthy(timeout time.Duration) {
+	h.tb.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := h.client.Get(h.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			h.tb.Fatalf("lbpd never became healthy on %s\nstderr:\n%s", h.addr, h.stderr.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// Kill crash-stops the daemon with SIGKILL (no drain, no journal close) and
+// reaps it, modeling a power-loss-grade failure.
+func (h *Harness) Kill() {
+	h.tb.Helper()
+	if h.cmd == nil {
+		h.tb.Fatal("no lbpd generation to kill")
+	}
+	h.cmd.Process.Kill()
+	h.cmd.Wait()
+	h.cmd = nil
+}
+
+// Stop requests a graceful drain with SIGTERM and returns the exit code;
+// past the timeout the process is killed and the test fails.
+func (h *Harness) Stop(timeout time.Duration) int {
+	h.tb.Helper()
+	if h.cmd == nil {
+		h.tb.Fatal("no lbpd generation to stop")
+	}
+	h.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- h.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		h.cmd.Process.Kill()
+		<-done
+		h.tb.Fatalf("lbpd did not drain within %v\nstderr:\n%s", timeout, h.stderr.String())
+	}
+	code := h.cmd.ProcessState.ExitCode()
+	h.cmd = nil
+	return code
+}
+
+// Stderr returns the current generation's captured stderr so far.
+func (h *Harness) Stderr() string { return h.stderr.String() }
+
+// Submit posts one job and returns the HTTP status plus the decoded body.
+func (h *Harness) Submit(req map[string]any) (int, map[string]any) {
+	h.tb.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := h.client.Post(h.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		h.tb.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	json.NewDecoder(resp.Body).Decode(&m)
+	return resp.StatusCode, m
+}
+
+// GetJSON fetches path and returns the HTTP status plus the decoded body.
+func (h *Harness) GetJSON(path string, into any) int {
+	h.tb.Helper()
+	resp, err := h.client.Get(h.base + path)
+	if err != nil {
+		h.tb.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		json.NewDecoder(resp.Body).Decode(into)
+	}
+	return resp.StatusCode
+}
+
+// JobView mirrors the daemon's job rendering, loosely typed so the harness
+// needs no dependency on internal/service.
+type JobView struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	Error    string          `json:"error"`
+	Progress uint64          `json:"progress"`
+	Result   json.RawMessage `json:"result"`
+}
+
+// terminalStates are the states a job can end in.
+var terminalStates = map[string]bool{
+	"done": true, "failed": true, "canceled": true, "shed": true,
+}
+
+// WaitTerminal polls one job until it reaches a terminal state.
+func (h *Harness) WaitTerminal(id string, timeout time.Duration) JobView {
+	h.tb.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var v JobView
+		code := h.GetJSON("/jobs/"+id, &v)
+		if code == http.StatusOK && terminalStates[v.State] {
+			return v
+		}
+		if time.Now().After(deadline) {
+			h.tb.Fatalf("job %s not terminal within %v (last: %d %+v)\nstderr:\n%s",
+				id, timeout, code, v, h.stderr.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// List fetches every job (up to limit 1000) and returns total plus views.
+func (h *Harness) List() (int, []JobView) {
+	h.tb.Helper()
+	var list struct {
+		Total int       `json:"total"`
+		Jobs  []JobView `json:"jobs"`
+	}
+	if code := h.GetJSON("/jobs?limit=1000", &list); code != http.StatusOK {
+		h.tb.Fatalf("GET /jobs: status %d", code)
+	}
+	return list.Total, list.Jobs
+}
+
+// StreamEvents opens the job's SSE stream; the caller closes the body.
+func (h *Harness) StreamEvents(ctx context.Context, id string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req) // no overall timeout: streaming
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("events stream for %s: status %d", id, resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+// WaitProgress watches the job's event stream until a progress event (the
+// job is observably mid-run) or the timeout; it then disconnects mid-stream.
+func (h *Harness) WaitProgress(id string, timeout time.Duration) {
+	h.tb.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	body, err := h.StreamEvents(ctx, id)
+	if err != nil {
+		h.tb.Fatalf("opening event stream: %v", err)
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: progress") {
+			return
+		}
+	}
+	h.tb.Fatalf("no progress event for %s within %v\nstderr:\n%s", id, timeout, h.stderr.String())
+}

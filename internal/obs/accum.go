@@ -1,0 +1,59 @@
+package obs
+
+import "time"
+
+// Accumulator batches a high-rate monotonic counter into infrequent commits:
+// deltas accumulate in a plain local field on the producing goroutine and are
+// handed to the commit function only when the pending total crosses Threshold
+// or Interval has elapsed since the last commit — a VSA-style deferred-commit
+// discipline that keeps per-event cost at one add and one compare while the
+// cross-thread work (atomics, locks, subscriber wakeups) happens thousands of
+// events apart.
+//
+// An Accumulator belongs to exactly one producing goroutine; only the commit
+// function needs to be safe for whatever the consumer side does with it.
+type Accumulator struct {
+	commit    func(delta uint64)
+	threshold uint64
+	interval  time.Duration
+	pending   uint64
+	last      time.Time // wall time of the previous commit
+}
+
+// NewAccumulator builds an accumulator that invokes commit with the net
+// pending delta when it reaches threshold (0 means commit on every Add) or
+// when interval has elapsed since the previous commit (0 disables the time
+// trigger).
+func NewAccumulator(threshold uint64, interval time.Duration, commit func(delta uint64)) *Accumulator {
+	return &Accumulator{commit: commit, threshold: threshold, interval: interval, last: time.Now()}
+}
+
+// Add accumulates n and commits when a trigger fires. The fast path — below
+// threshold, inside the interval — touches only local fields.
+func (a *Accumulator) Add(n uint64) {
+	a.pending += n
+	if a.pending == 0 {
+		return
+	}
+	if a.pending >= a.threshold {
+		a.Flush()
+		return
+	}
+	if a.interval > 0 && time.Since(a.last) >= a.interval {
+		a.Flush()
+	}
+}
+
+// Flush commits whatever is pending (a no-op when nothing is). Call it once
+// after the producing loop finishes so the tail below the threshold is never
+// lost.
+func (a *Accumulator) Flush() {
+	if a.pending > 0 {
+		a.commit(a.pending)
+		a.pending = 0
+	}
+	a.last = time.Now()
+}
+
+// Pending returns the uncommitted delta (tests and diagnostics).
+func (a *Accumulator) Pending() uint64 { return a.pending }

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	runtimemetrics "runtime/metrics"
+)
+
+// errShed is the error recorded on jobs dropped by the load shedder.
+var errShed = errors.New("shed: dropped under memory pressure before running")
+
+// heapBytes reads the live heap size from runtime/metrics. This is the
+// default Daemon.readHeap; tests substitute a stub to force shedding
+// deterministically.
+func heapBytes() uint64 {
+	samples := []runtimemetrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	runtimemetrics.Read(samples)
+	if samples[0].Value.Kind() == runtimemetrics.KindUint64 {
+		return samples[0].Value.Uint64()
+	}
+	return 0
+}
+
+// shedLoop polls the heap at MemCheckInterval and sheds when it exceeds the
+// high-watermark. It runs for the daemon's whole lifetime (including the
+// drain, when dropping backlog still relieves pressure).
+func (d *Daemon) shedLoop(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	t := time.NewTicker(d.cfg.MemCheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			d.shedOverWatermark()
+		}
+	}
+}
+
+// shedOverWatermark drops queued jobs while the heap is over the watermark,
+// largest (by requested instruction count) first — the jobs that would
+// allocate the most trace memory — until the instruction-weighted backlog
+// has halved. It acts on the backlog budget rather than re-reading the heap
+// because dropping queued work cannot shrink the heap until the next GC.
+// Returns the number of jobs shed.
+func (d *Daemon) shedOverWatermark() int {
+	if d.cfg.MemHighWater == 0 || d.readHeap() <= d.cfg.MemHighWater {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total uint64
+	for _, j := range d.pending {
+		total += uint64(j.req.Insts)
+	}
+	target := total / 2
+	shed := 0
+	for total > target && len(d.pending) > 0 {
+		bi := 0
+		for i, j := range d.pending {
+			if j.req.Insts > d.pending[bi].req.Insts {
+				bi = i
+			}
+		}
+		j := d.pending[bi]
+		d.pending = append(d.pending[:bi], d.pending[bi+1:]...)
+		total -= uint64(j.req.Insts)
+		d.shedLocked(j)
+		shed++
+	}
+	return shed
+}
+
+// shedLocked settles one queued job as shed: terminal state, journal record,
+// counter, in-flight release, single-flight step-aside and subscriber wake.
+// Callers hold d.mu and have already removed j from d.pending.
+func (d *Daemon) shedLocked(j *job) {
+	j.state = JobShed
+	j.finished = time.Now()
+	j.err = errShed
+	d.ctr.shed.Inc()
+	if d.byKey[j.key] == j {
+		delete(d.byKey, j.key)
+	}
+	d.decInflightLocked(j.client)
+	if err := d.journal.append(journalRecord{
+		Op: opShed, ID: j.id, Time: j.finished, Error: j.err.Error(),
+	}); err != nil {
+		d.noteJournalErrLocked(err)
+	}
+	d.publishLocked(j)
+}

@@ -25,7 +25,7 @@ func AtomicWriteFile(path string, write func(io.Writer) error) error {
 		tmp.Close()
 		return fmt.Errorf("atomic write %s: %w", path, err)
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := fsync(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("atomic write %s: %w", path, err)
 	}
@@ -37,3 +37,10 @@ func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	}
 	return nil
 }
+
+// fsync is (*os.File).Sync behind a seam: a real fsync failure means the
+// kernel could not promise durability and MUST surface to the caller — tests
+// stub this to prove the error path is not swallowed (a torn artifact that
+// "succeeded" is exactly the failure mode this package exists to prevent).
+var fsync = (*os.File).Sync
+

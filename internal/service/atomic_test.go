@@ -1,0 +1,69 @@
+package service
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAtomicWriteFileUnwritableDir: a target whose directory cannot take the
+// temp file fails up front with the path in the error — nothing is created
+// and the writer callback never runs.
+func TestAtomicWriteFileUnwritableDir(t *testing.T) {
+	target := filepath.Join(t.TempDir(), "no-such-dir", "artifact.json")
+	ran := false
+	err := AtomicWriteFile(target, func(io.Writer) error {
+		ran = true
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), target) {
+		t.Fatalf("missing-dir write: err %v, want the target path in the error", err)
+	}
+	if ran {
+		t.Fatal("writer ran although the temp file could not be created")
+	}
+
+	if os.Geteuid() == 0 {
+		t.Log("running as root: permission-denied variant skipped (root ignores modes)")
+		return
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o700)
+	if err := AtomicWriteFile(filepath.Join(dir, "a.json"), func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("write into a read-only directory succeeded")
+	}
+}
+
+// TestAtomicWriteFileFsyncFailure: a failed fsync aborts the write — the
+// error surfaces, the target is never created and the temp file is cleaned
+// up. "Written but not durable" must not look like success.
+func TestAtomicWriteFileFsyncFailure(t *testing.T) {
+	orig := fsync
+	defer func() { fsync = orig }()
+	fsync = func(*os.File) error { return os.ErrDeadlineExceeded }
+
+	dir := t.TempDir()
+	target := filepath.Join(dir, "artifact.json")
+	err := AtomicWriteFile(target, func(w io.Writer) error {
+		_, werr := w.Write([]byte("payload"))
+		return werr
+	})
+	if err == nil || !strings.Contains(err.Error(), target) {
+		t.Fatalf("fsync failure not surfaced with the path: %v", err)
+	}
+	if _, serr := os.Stat(target); !os.IsNotExist(serr) {
+		t.Fatal("failed fsync still produced the target file")
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("temp litter left behind after fsync failure: %v", entries)
+	}
+}

@@ -1,0 +1,548 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"localbp"
+)
+
+// waitState polls until the job reaches a terminal state (or the wanted
+// state) and returns the final view.
+func waitState(t *testing.T, d *Daemon, id string, want JobState) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v, ok := d.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if v.State == want || v.State.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s waiting for %s", id, v.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonCacheAndCoalesce: an identical in-flight submission coalesces
+// onto the running job; an identical finished submission answers from cache;
+// the counters record each path.
+func TestDaemonCacheAndCoalesce(t *testing.T) {
+	d, srv, _, _ := daemonFixture(t, DaemonConfig{Workers: 1})
+
+	w := localbp.Workloads()[0]
+	req := JobRequest{Workload: w.Name, Scheme: "forward-coalesce", Insts: 200_000}
+	first, err := d.Submit(req, "a")
+	if err != nil || first.Cached || first.Coalesced {
+		t.Fatalf("first submit: %+v, %v", first, err)
+	}
+	dup, err := d.Submit(req, "b")
+	if err != nil || !dup.Coalesced || dup.ID != first.ID {
+		t.Fatalf("in-flight duplicate did not coalesce: %+v, %v", dup, err)
+	}
+	// Aliases canonicalize to the same key: "forward-walk" is an alias of
+	// "forward-coalesce".
+	alias, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "forward-walk", Insts: 200_000}, "c")
+	if err != nil || !alias.Coalesced || alias.ID != first.ID {
+		t.Fatalf("alias did not coalesce: %+v, %v", alias, err)
+	}
+
+	done := waitState(t, d, first.ID, JobDone)
+	if done.State != JobDone {
+		t.Fatalf("job finished %s: %s", done.State, done.Error)
+	}
+	hit, err := d.Submit(req, "d")
+	if err != nil || !hit.Cached || hit.ID != first.ID {
+		t.Fatalf("finished duplicate did not hit cache: %+v, %v", hit, err)
+	}
+	// Over HTTP a cache hit answers 200, not 202.
+	resp, sr := postJob(t, srv.URL, req)
+	if resp.StatusCode != http.StatusOK || !sr.Cached || sr.ID != first.ID {
+		t.Fatalf("HTTP cache hit: status %d, %+v", resp.StatusCode, sr)
+	}
+	// A different seed is different work, not a hit.
+	fresh, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "forward-coalesce",
+		Insts: 200_000, Seed: 99}, "a")
+	if err != nil || fresh.Cached || fresh.Coalesced || fresh.ID == first.ID {
+		t.Fatalf("seed change still coalesced: %+v, %v", fresh, err)
+	}
+
+	m := d.Metrics()
+	if m["cache.hit"] != 2 || m["cache.coalesced"] != 2 || m["cache.miss"] != 2 {
+		t.Fatalf("cache counters: hit=%d coalesced=%d miss=%d",
+			m["cache.hit"], m["cache.coalesced"], m["cache.miss"])
+	}
+}
+
+// TestDaemonAdmission: a full queue answers 429 with Retry-After (never a
+// hung connection), and a client at its in-flight cap is rejected while
+// other clients are still admitted.
+func TestDaemonAdmission(t *testing.T) {
+	d, srv, _, _ := daemonFixture(t, DaemonConfig{
+		Workers: 1, QueueDepth: 2, ClientInflight: 2,
+		RetryAfter: 7 * time.Second,
+	})
+
+	w := localbp.Workloads()[0]
+	// Occupy the worker, then fill the two queue slots with distinct work
+	// from distinct clients so neither the cache nor the client cap fires
+	// before the queue-full check.
+	if _, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage", Insts: 2_000_000}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, d, "job-0001", JobRunning)
+	for i, client := range []string{"b", "c"} {
+		if _, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage",
+			Insts: 2_000_000, Seed: int64(i + 10)}, client); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage",
+		Insts: 2_000_000, Seed: 50}, "d"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	body := strings.NewReader(fmt.Sprintf(
+		`{"workload":%q,"scheme":"tage","insts":2000000,"seed":51}`, w.Name))
+	resp, err := client.Post(srv.URL+"/jobs", "application/json", body)
+	if err != nil {
+		t.Fatalf("429 path hung the connection: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "7" {
+		t.Fatalf("Retry-After = %q, want %q", resp.Header.Get("Retry-After"), "7")
+	}
+
+	// Client cap: "a" has 1 in flight (running); one more reaches the cap
+	// of 2, the next is rejected — while a fresh client is still admitted
+	// once queue space exists. Here the queue is full, so instead assert the
+	// cap on a daemon state level: drain one slot is racy, so use a second
+	// fixture.
+	d2, _, _, _ := daemonFixture(t, DaemonConfig{Workers: 1, QueueDepth: 64, ClientInflight: 2})
+	if _, err := d2.Submit(JobRequest{Workload: w.Name, Scheme: "tage", Insts: 2_000_000}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Submit(JobRequest{Workload: w.Name, Scheme: "tage",
+		Insts: 2_000_000, Seed: 2}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Submit(JobRequest{Workload: w.Name, Scheme: "tage",
+		Insts: 2_000_000, Seed: 3}, "a"); !errors.Is(err, ErrClientSaturated) {
+		t.Fatalf("over-cap submit: %v, want ErrClientSaturated", err)
+	}
+	if _, err := d2.Submit(JobRequest{Workload: w.Name, Scheme: "tage",
+		Insts: 2_000_000, Seed: 3}, "other"); err != nil {
+		t.Fatalf("other client rejected: %v", err)
+	}
+	m := d2.Metrics()
+	if m["admit.reject.client_cap"] != 1 {
+		t.Fatalf("client-cap rejections = %d, want 1", m["admit.reject.client_cap"])
+	}
+}
+
+// TestDaemonMemoryShed: above the watermark, fresh submissions are refused
+// and the shedder drops the largest queued jobs first until the
+// instruction-weighted backlog halves; shed jobs are terminal, journaled,
+// and release their client's in-flight slot.
+func TestDaemonMemoryShed(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "jobs.journal")
+	d, err := NewDaemon(DaemonConfig{
+		Workers: 1, QueueDepth: 16, MemHighWater: 1 << 20, Journal: jpath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var over atomic.Bool
+	d.readHeap = func() uint64 {
+		if over.Load() {
+			return 2 << 20
+		}
+		return 0
+	}
+
+	// No Run: jobs stay queued so the shed decision is deterministic.
+	w := localbp.Workloads()[0]
+	sizes := []int{1000, 4000, 2000, 3000}
+	ids := make([]string, len(sizes))
+	for i, n := range sizes {
+		sr, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage",
+			Insts: n, Seed: int64(i + 1)}, "cli")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = sr.ID
+	}
+
+	over.Store(true)
+	if _, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage",
+		Insts: 500, Seed: 77}, "cli"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-watermark submit: %v, want ErrOverloaded", err)
+	}
+
+	// Backlog is 10 000 insts; halving sheds the 4000 then the 3000 job.
+	if n := d.shedOverWatermark(); n != 2 {
+		t.Fatalf("shed %d jobs, want 2", n)
+	}
+	wantStates := []JobState{JobQueued, JobShed, JobQueued, JobShed}
+	for i, id := range ids {
+		v, _ := d.Job(id)
+		if v.State != wantStates[i] {
+			t.Fatalf("job %s (%d insts): state %s, want %s", id, sizes[i], v.State, wantStates[i])
+		}
+		if v.State == JobShed && v.Error == "" {
+			t.Fatalf("shed job %s carries no error", id)
+		}
+	}
+	m := d.Metrics()
+	if m["jobs.shed"] != 2 || m["admit.reject.memory"] != 1 {
+		t.Fatalf("shed counters: shed=%d reject=%d", m["jobs.shed"], m["admit.reject.memory"])
+	}
+
+	// Shed decisions are durable: a replayed daemon sees them as terminal
+	// and re-enqueues only the surviving queued jobs.
+	d2, err := NewDaemon(DaemonConfig{Workers: 1, Journal: jpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		v, ok := d2.Job(id)
+		if !ok || v.State != wantStates[i] {
+			t.Fatalf("replayed job %s: state %s, want %s", id, v.State, wantStates[i])
+		}
+	}
+	if views, total := d2.Jobs(JobQueued, 0); total != 2 || len(views) != 2 {
+		t.Fatalf("replay re-enqueued %d jobs, want 2", total)
+	}
+}
+
+// TestDaemonJournalRecovery: submissions journaled before a crash re-enter
+// the queue on restart, finished results survive restarts bit-identically,
+// and job ids never collide across epochs.
+func TestDaemonJournalRecovery(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "jobs.journal")
+	w := localbp.Workloads()[0]
+	reqs := []JobRequest{
+		{Workload: w.Name, Scheme: "tage", Insts: 2_000},
+		{Workload: w.Name, Scheme: "forward-coalesce", Insts: 3_000},
+		{Workload: w.Name, Scheme: "tage", Insts: 4_000},
+	}
+
+	// Epoch 1: accept three jobs, then "crash" before any of them runs
+	// (Run is never called, so nothing executes and nothing settles).
+	d1, err := NewDaemon(DaemonConfig{Workers: 2, Journal: jpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range reqs {
+		if _, err := d1.Submit(req, "cli"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Epoch 2: replay re-enqueues all three; run them to completion.
+	d2, err := NewDaemon(DaemonConfig{Workers: 2, Journal: jpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records, _ := d2.ReplayStats(); records != 3 {
+		t.Fatalf("replayed %d records, want 3", records)
+	}
+	if _, total := d2.Jobs(JobQueued, 0); total != 3 {
+		t.Fatalf("%d jobs re-enqueued, want 3", total)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { d2.Run(ctx); close(done) }()
+	results := map[string]string{}
+	for i := range reqs {
+		id := fmt.Sprintf("job-%04d", i+1)
+		v := waitState(t, d2, id, JobDone)
+		if v.State != JobDone {
+			t.Fatalf("job %s finished %s: %s", id, v.State, v.Error)
+		}
+		b, _ := json.Marshal(v.Result)
+		results[id] = string(b)
+	}
+	cancel()
+	<-done
+
+	// Epoch 3: everything replays as done; identical submissions hit the
+	// cache and the stored results match epoch 2 byte for byte. A genuinely
+	// new job continues the id sequence without reusing job-0001..0003.
+	d3, err := NewDaemon(DaemonConfig{Workers: 2, Journal: jpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range reqs {
+		id := fmt.Sprintf("job-%04d", i+1)
+		v, ok := d3.Job(id)
+		if !ok || v.State != JobDone {
+			t.Fatalf("job %s did not replay as done", id)
+		}
+		b, _ := json.Marshal(v.Result)
+		if string(b) != results[id] {
+			t.Fatalf("job %s result drifted across restart:\n%s\n%s", id, b, results[id])
+		}
+		sr, err := d3.Submit(req, "cli")
+		if err != nil || !sr.Cached || sr.ID != id {
+			t.Fatalf("resubmit of %s: %+v, %v", id, sr, err)
+		}
+	}
+	sr, err := d3.Submit(JobRequest{Workload: w.Name, Scheme: "tage", Insts: 9_000}, "cli")
+	if err != nil || sr.ID != "job-0004" {
+		t.Fatalf("new job after replay: %+v, %v (want job-0004)", sr, err)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE consumes the stream until a terminal state event or EOF.
+func readSSE(t *testing.T, body *bufio.Scanner) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	cur := ""
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev := sseEvent{name: cur, data: strings.TrimPrefix(line, "data: ")}
+			events = append(events, ev)
+			if ev.name == "state" {
+				var st stateEvent
+				if err := json.Unmarshal([]byte(ev.data), &st); err != nil {
+					t.Fatalf("bad state event %q: %v", ev.data, err)
+				}
+				if st.State.Terminal() {
+					return events
+				}
+			}
+		}
+	}
+	return events
+}
+
+// TestDaemonSSEStream: the events endpoint streams the state transitions of
+// a job (queued → running → done), interleaved progress, and a terminal
+// event that carries the result.
+func TestDaemonSSEStream(t *testing.T) {
+	d, srv, _, _ := daemonFixture(t, DaemonConfig{
+		Workers: 1, ProgressInsts: 10_000, ProgressInterval: time.Millisecond,
+		Heartbeat: 100 * time.Millisecond,
+	})
+
+	w := localbp.Workloads()[0]
+	// A blocker occupies the single worker so the target job is observably
+	// queued when the stream opens.
+	if _, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage", Insts: 1_000_000}, "blk"); err != nil {
+		t.Fatal(err)
+	}
+	target, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "forward-coalesce", Insts: 1_000_000}, "tgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/jobs/"+target.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	events := readSSE(t, bufio.NewScanner(resp.Body))
+	var states []JobState
+	progress := 0
+	var lastRetired uint64
+	var final stateEvent
+	for _, ev := range events {
+		switch ev.name {
+		case "state":
+			var st stateEvent
+			json.Unmarshal([]byte(ev.data), &st)
+			states = append(states, st.State)
+			final = st
+		case "progress":
+			var p progressEvent
+			json.Unmarshal([]byte(ev.data), &p)
+			if p.Retired < lastRetired {
+				t.Fatalf("progress went backwards: %d after %d", p.Retired, lastRetired)
+			}
+			lastRetired = p.Retired
+			progress++
+		}
+	}
+	want := []JobState{JobQueued, JobRunning, JobDone}
+	if len(states) != 3 || states[0] != want[0] || states[1] != want[1] || states[2] != want[2] {
+		t.Fatalf("state sequence %v, want %v", states, want)
+	}
+	if progress == 0 {
+		t.Fatal("no progress events streamed")
+	}
+	if final.Result == nil || final.Result.Insts == 0 {
+		t.Fatalf("terminal event carries no result: %+v", final)
+	}
+
+	// Unknown jobs are a 404, not an empty stream.
+	r404, err := http.Get(srv.URL + "/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job stream: status %d", r404.StatusCode)
+	}
+}
+
+// TestDaemonSSEStalledSubscriber: a subscriber that never reads its stream
+// must not delay the job — publishes are non-blocking and the worker never
+// waits on a slow consumer.
+func TestDaemonSSEStalledSubscriber(t *testing.T) {
+	d, srv, _, _ := daemonFixture(t, DaemonConfig{
+		Workers: 1, ProgressInsts: 5_000, ProgressInterval: time.Millisecond,
+		Heartbeat: 100 * time.Millisecond,
+	})
+
+	w := localbp.Workloads()[0]
+	sr, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "forward-coalesce", Insts: 1_000_000}, "cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open the stream and never read from it; the transport buffers what
+	// little the daemon writes and the job must still finish promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/jobs/"+sr.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	v := waitState(t, d, sr.ID, JobDone)
+	if v.State != JobDone {
+		t.Fatalf("job finished %s with a stalled subscriber: %s", v.State, v.Error)
+	}
+	// A mid-stream disconnect must not disturb the daemon either: drop the
+	// subscriber, then run another job to completion.
+	cancel()
+	sr2, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage", Insts: 10_000}, "cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitState(t, d, sr2.ID, JobDone); v.State != JobDone {
+		t.Fatalf("post-disconnect job finished %s: %s", v.State, v.Error)
+	}
+}
+
+// TestDaemonListFilterLimit: GET /jobs honours ?state= and ?limit=, reports
+// the uncapped total, and rejects unknown states.
+func TestDaemonListFilterLimit(t *testing.T) {
+	d, srv, _, _ := daemonFixture(t, DaemonConfig{Workers: 1})
+
+	w := localbp.Workloads()[0]
+	for i := range 3 {
+		if _, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage",
+			Insts: 2_000, Seed: int64(i + 1)}, "cli"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range 3 {
+		waitState(t, d, fmt.Sprintf("job-%04d", i+1), JobDone)
+	}
+
+	var list struct {
+		Total int       `json:"total"`
+		Jobs  []JobView `json:"jobs"`
+	}
+	get := func(q string) int {
+		r, err := http.Get(srv.URL + "/jobs" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		list.Total, list.Jobs = 0, nil
+		json.NewDecoder(r.Body).Decode(&list)
+		return r.StatusCode
+	}
+	if code := get("?limit=2"); code != http.StatusOK || list.Total != 3 || len(list.Jobs) != 2 {
+		t.Fatalf("limit=2: code %d total %d len %d", code, list.Total, len(list.Jobs))
+	}
+	if code := get("?state=done"); code != http.StatusOK || list.Total != 3 {
+		t.Fatalf("state=done: code %d total %d", code, list.Total)
+	}
+	if code := get("?state=queued"); code != http.StatusOK || list.Total != 0 || len(list.Jobs) != 0 {
+		t.Fatalf("state=queued: code %d total %d", code, list.Total)
+	}
+	if code := get("?state=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("state=bogus accepted: code %d", code)
+	}
+	if code := get("?limit=0"); code != http.StatusBadRequest {
+		t.Fatalf("limit=0 accepted: code %d", code)
+	}
+}
+
+// TestDaemonReadyz: /healthz stays 200 through a drain (the process is
+// alive) while /readyz flips to 503 with Retry-After.
+func TestDaemonReadyz(t *testing.T) {
+	_, srv, cancel, done := daemonFixture(t, DaemonConfig{Workers: 1, DrainGrace: 5 * time.Second})
+
+	get := func(path string) *http.Response {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		return r
+	}
+	if r := get("/healthz"); r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", r.StatusCode)
+	}
+	if r := get("/readyz"); r.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", r.StatusCode)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+
+	if r := get("/healthz"); r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain: %d (liveness must not fail)", r.StatusCode)
+	}
+	r := get("/readyz")
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", r.StatusCode)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Fatal("readyz 503 lacks Retry-After")
+	}
+}

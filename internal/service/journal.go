@@ -1,0 +1,193 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"time"
+
+	"localbp"
+)
+
+// The job journal is the daemon's durability layer: an append-only file of
+// framed JSON records — one per job submission and one per terminal
+// transition — replayed at startup so a restarted daemon re-enqueues
+// unfinished jobs and keeps serving finished results. Each record is wrapped
+// in the same CRC-32C envelope discipline as the sweep checkpoint (§13), but
+// framed per record because the file only ever grows:
+//
+//	LBPJRNL1 <crc32c-hex> <payload-bytes> <payload-json>\n
+//
+// The length field pins torn appends (a crash mid-write truncates the
+// payload), the CRC-32C catches bit rot that still parses, and replay
+// truncates the file back to the last intact record — every fully fsynced
+// record survives any crash, and a torn tail costs at most the record being
+// written when the process died.
+const journalMagic = "LBPJRNL1"
+
+// journalOp discriminates journal records.
+type journalOp string
+
+const (
+	opSubmit   journalOp = "submit"
+	opDone     journalOp = "done"
+	opFailed   journalOp = "failed"
+	opCanceled journalOp = "canceled"
+	opShed     journalOp = "shed"
+)
+
+// terminal reports whether the op ends a job's lifecycle.
+func (op journalOp) terminal() bool { return op != opSubmit }
+
+// journalRecord is one journal entry. Submit records carry the request, the
+// cache key and the client identity; terminal records carry the outcome.
+type journalRecord struct {
+	Op   journalOp `json:"op"`
+	ID   string    `json:"id"`
+	Time time.Time `json:"time"`
+
+	// Submit-only fields.
+	Req    *JobRequest `json:"req,omitempty"`
+	Key    string      `json:"key,omitempty"`
+	Client string      `json:"client,omitempty"`
+
+	// Terminal-only fields.
+	Attempts int             `json:"attempts,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Class    string          `json:"class,omitempty"`
+	Result   *localbp.Result `json:"result,omitempty"`
+}
+
+// journal is the append side: one open O_APPEND file, each record framed,
+// written and fsynced under the mutex so records are totally ordered and a
+// record reported as appended is durable.
+type journal struct {
+	path string
+	f    *os.File
+}
+
+// replayNote describes what openJournal recovered, for the daemon's startup
+// log ("" when the journal was clean).
+type replayNote struct {
+	Records   int   // intact records replayed
+	Truncated int64 // bytes of torn tail discarded, 0 when clean
+}
+
+// openJournal replays the journal at path (creating it when missing),
+// truncates any torn tail, and returns the append handle plus the intact
+// records in append order.
+func openJournal(path string) (*journal, []journalRecord, replayNote, error) {
+	var note replayNote
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, note, fmt.Errorf("journal %s: %w", path, err)
+	}
+
+	recs, valid := decodeJournal(data)
+	note.Records = len(recs)
+	if valid < int64(len(data)) {
+		// Torn or corrupt tail: truncate back to the last intact record so
+		// the next append starts on a clean frame boundary. Records after
+		// damage are unreachable anyway — the frame stream has lost sync.
+		note.Truncated = int64(len(data)) - valid
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, nil, note, fmt.Errorf("journal %s: truncating torn tail: %w", path, err)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, note, fmt.Errorf("journal %s: %w", path, err)
+	}
+	return &journal{path: path, f: f}, recs, note, nil
+}
+
+// decodeJournal parses framed records from data, returning the intact prefix
+// records and the byte offset up to which the file is valid. Parsing stops at
+// the first damaged frame (torn append, CRC mismatch, malformed header) —
+// everything before it is trustworthy, everything after is discarded.
+func decodeJournal(data []byte) (recs []journalRecord, valid int64) {
+	off := int64(0)
+	for int(off) < len(data) {
+		rest := data[off:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return recs, off // torn tail: no record terminator
+		}
+		line := rest[:nl]
+		// Header: magic, crc hex, payload length — three space-separated
+		// fields before the payload itself.
+		p1 := bytes.IndexByte(line, ' ')
+		if p1 < 0 || string(line[:p1]) != journalMagic {
+			return recs, off
+		}
+		p2 := bytes.IndexByte(line[p1+1:], ' ')
+		if p2 < 0 {
+			return recs, off
+		}
+		p2 += p1 + 1
+		p3 := bytes.IndexByte(line[p2+1:], ' ')
+		if p3 < 0 {
+			return recs, off
+		}
+		p3 += p2 + 1
+		wantCRC, err := strconv.ParseUint(string(line[p1+1:p2]), 16, 32)
+		if err != nil {
+			return recs, off
+		}
+		wantLen, err := strconv.Atoi(string(line[p2+1 : p3]))
+		if err != nil {
+			return recs, off
+		}
+		payload := line[p3+1:]
+		if len(payload) != wantLen {
+			return recs, off // torn append or embedded newline damage
+		}
+		if crc32.Checksum(payload, crcTable) != uint32(wantCRC) {
+			return recs, off
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += int64(nl) + 1
+	}
+	return recs, off
+}
+
+// crcTable is the Castagnoli polynomial, matching the checkpoint envelope.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// append frames, writes and fsyncs one record. The caller serializes calls
+// (the daemon appends under its mutex); a nil journal is a no-op so call
+// sites need no durability conditionals.
+func (jl *journal) append(rec journalRecord) error {
+	if jl == nil {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, err)
+	}
+	frame := fmt.Appendf(nil, "%s %08x %d %s\n", journalMagic,
+		crc32.Checksum(payload, crcTable), len(payload), payload)
+	if _, err := jl.f.Write(frame); err != nil {
+		return fmt.Errorf("journal %s: %w", jl.path, err)
+	}
+	if err := fsync(jl.f); err != nil {
+		return fmt.Errorf("journal %s: fsync: %w", jl.path, err)
+	}
+	return nil
+}
+
+// Close releases the append handle; a nil journal is a no-op.
+func (jl *journal) Close() error {
+	if jl == nil {
+		return nil
+	}
+	return jl.f.Close()
+}

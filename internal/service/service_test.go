@@ -204,7 +204,10 @@ func TestReportSummaryClasses(t *testing.T) {
 // waits for the drain.
 func daemonFixture(t *testing.T, cfg DaemonConfig) (*Daemon, *httptest.Server, context.CancelFunc, chan struct{}) {
 	t.Helper()
-	d := NewDaemon(cfg)
+	d, err := NewDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() { d.Run(ctx); close(done) }()
@@ -217,7 +220,7 @@ func daemonFixture(t *testing.T, cfg DaemonConfig) (*Daemon, *httptest.Server, c
 	return d, srv, cancel, done
 }
 
-func postJob(t *testing.T, url string, req JobRequest) (*http.Response, map[string]string) {
+func postJob(t *testing.T, url string, req JobRequest) (*http.Response, SubmitResult) {
 	t.Helper()
 	body, _ := json.Marshal(req)
 	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
@@ -225,9 +228,9 @@ func postJob(t *testing.T, url string, req JobRequest) (*http.Response, map[stri
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var m map[string]string
-	json.NewDecoder(resp.Body).Decode(&m)
-	return resp, m
+	var sr SubmitResult
+	json.NewDecoder(resp.Body).Decode(&sr)
+	return resp, sr
 }
 
 // TestDaemonJobLifecycle: submit → poll → result over the HTTP API.
@@ -235,11 +238,11 @@ func TestDaemonJobLifecycle(t *testing.T) {
 	_, srv, _, _ := daemonFixture(t, DaemonConfig{Workers: 2, Retry: DefaultRetryPolicy()})
 
 	w := localbp.Workloads()[0]
-	resp, m := postJob(t, srv.URL, JobRequest{Workload: w.Name, Scheme: "forward-coalesce", Insts: 5_000})
-	if resp.StatusCode != http.StatusAccepted || m["id"] == "" {
-		t.Fatalf("submit: status %d, body %v", resp.StatusCode, m)
+	resp, sr := postJob(t, srv.URL, JobRequest{Workload: w.Name, Scheme: "forward-coalesce", Insts: 5_000})
+	if resp.StatusCode != http.StatusAccepted || sr.ID == "" {
+		t.Fatalf("submit: status %d, body %+v", resp.StatusCode, sr)
 	}
-	id := m["id"]
+	id := sr.ID
 
 	var view JobView
 	deadline := time.Now().Add(30 * time.Second)
@@ -298,8 +301,8 @@ func TestDaemonValidation(t *testing.T) {
 			t.Fatalf("bad request %d accepted: status %d", i, resp.StatusCode)
 		}
 	}
-	if got := len(d.Jobs()); got != 0 {
-		t.Fatalf("%d invalid jobs reached the queue", got)
+	if _, total := d.Jobs("", 0); total != 0 {
+		t.Fatalf("%d invalid jobs reached the queue", total)
 	}
 	if _, ok := d.Job("job-0001"); ok {
 		t.Fatal("phantom job exists")
@@ -312,7 +315,7 @@ func TestDaemonDrain(t *testing.T) {
 	d, srv, cancel, done := daemonFixture(t, DaemonConfig{Workers: 1, DrainGrace: 5 * time.Second})
 
 	w := localbp.Workloads()[0]
-	if _, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage", Insts: 2_000}); err != nil {
+	if _, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage", Insts: 2_000}, "test"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -323,7 +326,7 @@ func TestDaemonDrain(t *testing.T) {
 		t.Fatal("daemon did not drain")
 	}
 
-	if _, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage", Insts: 2_000}); !errors.Is(err, ErrDraining) {
+	if _, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "tage", Insts: 2_000}, "test"); !errors.Is(err, ErrDraining) {
 		t.Fatalf("post-drain submit: %v, want ErrDraining", err)
 	}
 	resp, _ := postJob(t, srv.URL, JobRequest{Workload: w.Name, Scheme: "tage", Insts: 2_000})
@@ -332,7 +335,8 @@ func TestDaemonDrain(t *testing.T) {
 	}
 
 	// The queued job was drained, not dropped: it ran to a terminal state.
-	for _, j := range d.Jobs() {
+	views, _ := d.Jobs("", 0)
+	for _, j := range views {
 		if j.State == JobQueued || j.State == JobRunning {
 			t.Fatalf("job %s left in state %s after drain", j.ID, j.State)
 		}
@@ -345,11 +349,12 @@ func TestDaemonJobTimeout(t *testing.T) {
 	d, _, _, _ := daemonFixture(t, DaemonConfig{Workers: 1})
 
 	w := localbp.Workloads()[0]
-	id, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "forward-coalesce",
-		Insts: 5_000_000, TimeoutSec: 0.001})
+	sr, err := d.Submit(JobRequest{Workload: w.Name, Scheme: "forward-coalesce",
+		Insts: 5_000_000, TimeoutSec: 0.001}, "test")
 	if err != nil {
 		t.Fatal(err)
 	}
+	id := sr.ID
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		v, ok := d.Job(id)

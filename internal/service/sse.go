@@ -1,0 +1,181 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"localbp"
+)
+
+// SSE progress streaming. Each subscriber holds only a capacity-1 notify
+// channel: publishers wake subscribers with a non-blocking send and the
+// subscriber re-reads the job's current state (a coalescing snapshot). A
+// stalled reader therefore costs O(1) memory, never back-pressures a worker,
+// and is disconnected by the per-write deadline rather than by starving the
+// daemon.
+
+// subscriber is one SSE listener on one job.
+type subscriber struct {
+	notify chan struct{}
+}
+
+// wake nudges the subscriber; a full channel means a wake is already
+// pending, and the eventual snapshot read covers this update too.
+func (s *subscriber) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// publishLocked wakes every subscriber of j; callers hold d.mu.
+func (d *Daemon) publishLocked(j *job) {
+	for _, s := range j.subs {
+		s.wake()
+	}
+}
+
+// publish wakes every subscriber of j from outside the lock (the simulation
+// goroutine's batched progress commits land here).
+func (d *Daemon) publish(j *job) {
+	d.mu.Lock()
+	d.publishLocked(j)
+	d.mu.Unlock()
+}
+
+// subscribe attaches a new subscriber to the job, returning false for an
+// unknown id.
+func (d *Daemon) subscribe(id string) (*job, *subscriber, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	s := &subscriber{notify: make(chan struct{}, 1)}
+	j.subs = append(j.subs, s)
+	return j, s, true
+}
+
+// unsubscribe detaches s from j.
+func (d *Daemon) unsubscribe(j *job, s *subscriber) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, cur := range j.subs {
+		if cur == s {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// stateEvent is the payload of an SSE "state" event; terminal states carry
+// the outcome so subscribers need no follow-up fetch.
+type stateEvent struct {
+	ID     string          `json:"id"`
+	State  JobState        `json:"state"`
+	Error  string          `json:"error,omitempty"`
+	Class  string          `json:"class,omitempty"`
+	Result *localbp.Result `json:"result,omitempty"`
+}
+
+// progressEvent is the payload of an SSE "progress" event.
+type progressEvent struct {
+	ID      string `json:"id"`
+	Retired uint64 `json:"retired"`
+}
+
+// writeSSE emits one SSE frame: "event: <name>\ndata: <json>\n\n".
+func writeSSE(w io.Writer, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
+// serveEvents streams a job's lifecycle as server-sent events:
+//
+//	event: state     {id, state, error?, class?, result?}
+//	event: progress  {id, retired}
+//	: heartbeat      (comment, every Heartbeat)
+//
+// The stream sends the current state immediately, then on every transition
+// and progress commit, and closes after the terminal state event. Writes
+// carry a deadline so a stalled reader is disconnected, never waited on.
+func (d *Daemon) serveEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, sub, ok := d.subscribe(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	defer d.unsubscribe(j, sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	rc := http.NewResponseController(w)
+	// A write may block for at most one heartbeat plus slack before the
+	// subscriber is declared stalled and dropped.
+	writeBudget := d.cfg.Heartbeat + 5*time.Second
+	arm := func() {
+		// Ignore the error: recorders without deadline support still get
+		// correct frames, they just lose stall protection.
+		rc.SetWriteDeadline(time.Now().Add(writeBudget))
+	}
+
+	heartbeat := time.NewTicker(d.cfg.Heartbeat)
+	defer heartbeat.Stop()
+
+	var lastState JobState
+	var lastProgress uint64
+	for {
+		v, ok := d.Job(id)
+		if !ok {
+			return
+		}
+		arm()
+		if v.State != lastState {
+			lastState = v.State
+			ev := stateEvent{ID: v.ID, State: v.State, Error: v.Error, Class: v.Class}
+			if v.State.Terminal() {
+				ev.Result = v.Result
+			}
+			if writeSSE(w, "state", ev) != nil {
+				return
+			}
+		}
+		if v.Progress != lastProgress {
+			lastProgress = v.Progress
+			if writeSSE(w, "progress", progressEvent{ID: v.ID, Retired: v.Progress}) != nil {
+				return
+			}
+		}
+		if rc.Flush() != nil {
+			return
+		}
+		if v.State.Terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.notify:
+		case <-heartbeat.C:
+			arm()
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			if rc.Flush() != nil {
+				return
+			}
+		}
+	}
+}

@@ -228,6 +228,7 @@ type simConfig struct {
 	counters  bool
 	traceCap  int
 	observer  func(Event)
+	progress  func(uint64)
 	maxCycles int64
 }
 
@@ -288,6 +289,15 @@ func WithEventTrace(capacity int) Option {
 // event tracing). fn runs on the simulation goroutine; keep it cheap.
 func WithObserver(fn func(Event)) Option {
 	return func(c *simConfig) { c.observer = fn }
+}
+
+// WithProgress reports the cumulative retired-instruction count to fn
+// periodically (at the cycle loop's cancellation-poll stride) and once at
+// completion. The hook is read-only — results are bit-identical with or
+// without it — and fn runs on the simulation goroutine, so it must be cheap;
+// long-running services batch downstream work (see internal/obs.Accumulator).
+func WithProgress(fn func(retired uint64)) Option {
+	return func(c *simConfig) { c.progress = fn }
 }
 
 // Result summarizes one simulation.
@@ -366,6 +376,7 @@ func simulate(tr []trace.Inst, s Scheme, sc simConfig) (Result, error) {
 	ccfg := core.DefaultConfig()
 	ccfg.WarmupInsts = sc.warmup
 	ccfg.MaxCycles = sc.maxCycles
+	ccfg.Progress = sc.progress
 
 	// Observability hooks: built fresh per run, so concurrent Simulate
 	// calls never share registries or tracers.
