@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race audit bench-json bench-pr5 bench-compare fuzz-smoke daemon-smoke ci stress
+.PHONY: check build vet test race audit bench-json bench-pr5 bench-compare fuzz-smoke daemon-smoke shard-smoke ci stress
 
 # check is the CI gate: static analysis plus the full suite under the race
 # detector (the parallel sweep runner is on by default).
@@ -17,6 +17,7 @@ build:
 vet:
 	$(GO) vet ./...
 	$(GO) test -run 'TestObsAllocGuard|TestCoreLoopAllocGuard' -count=1 .
+	$(GO) test -race -count=1 ./internal/shard
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "vet: staticcheck not installed, skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
@@ -69,17 +70,26 @@ fuzz-smoke:
 daemon-smoke:
 	$(GO) test -run TestDaemonSmoke -count=1 -v ./cmd/lbpd
 
-ci: build vet race daemon-smoke fuzz-smoke
+# shard-smoke is the end-to-end sharded-sweep check (< 60 s): a 3-worker
+# quick sweep with one worker SIGKILLed mid-shard, its lease expired and the
+# shard reassigned, then `-merge` verified bit-identical to a single-process
+# sweep of the same experiments — zero lost, zero duplicated results.
+shard-smoke:
+	$(GO) test -run 'TestShardSweepChaosKillBitIdentical|TestShardWorkerLeaseHeld' -count=1 -v ./cmd/lbpsweep
+
+ci: build vet race daemon-smoke shard-smoke fuzz-smoke
 	$(GO) run ./cmd/lbpbench -insts 60000 -out BENCH_ci.json
 	$(GO) run ./cmd/lbpbench -compare -old BENCH_ci.json -new BENCH_ci.json
 	rm -f BENCH_ci.json
 
 # stress loops the crash-safety subprocess suites under the race detector:
-# interrupt a live sweep (checkpoint resume, zero lost/duplicated results)
-# and chaos-test the daemon (SIGKILL restarts over the journal, queue
-# floods answered with 429s, mid-stream SSE disconnects). N controls the
-# iteration count.
+# interrupt a live sweep (checkpoint resume, zero lost/duplicated results),
+# chaos-test the daemon (SIGKILL restarts over the journal, queue floods
+# answered with 429s, mid-stream SSE disconnects), and chaos-test the
+# sharded fleet (worker SIGKILL + lease reassignment; coordinator SIGKILL
+# with orphaned workers). N controls the iteration count.
 N ?= 5
 stress:
 	$(GO) test -race -run TestSweepSIGINTResume -count=$(N) -v ./cmd/lbpsweep
 	$(GO) test -race -run TestDaemonChaos -count=$(N) -timeout 60m -v ./internal/daemonchaos
+	$(GO) test -race -run 'TestShardSweepChaosKillBitIdentical|TestShardFleetCoordinatorCrash' -count=$(N) -timeout 60m -v ./cmd/lbpsweep ./internal/daemonchaos

@@ -92,7 +92,7 @@ func run() int {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbpd: %v\n", err)
-		return 2
+		return service.ExitConfigError
 	}
 	if *journal != "" {
 		records, truncated := d.ReplayStats()
@@ -119,7 +119,7 @@ func run() int {
 	case err := <-httpErr:
 		// The listener died before any shutdown signal: configuration error.
 		fmt.Fprintf(os.Stderr, "lbpd: %v\n", err)
-		return 2
+		return service.ExitConfigError
 	case <-ctx.Done():
 	}
 
@@ -136,12 +136,12 @@ func run() int {
 	// return ErrServerClosed on the happy path, so anything else (a listener
 	// that died racing the signal, an accept loop failure) is a real fault
 	// that must not exit 0.
-	exit := 0
+	exit := service.ExitOK
 	select {
 	case err := <-httpErr:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "lbpd: http server: %v\n", err)
-			exit = 2
+			exit = service.ExitConfigError
 		}
 	default:
 	}
@@ -157,8 +157,8 @@ func run() int {
 	}
 	if canceled > 0 {
 		fmt.Fprintf(os.Stderr, "lbpd: drained with %d job(s) canceled past the grace period\n", canceled)
-		return 4
+		return service.ExitCanceled
 	}
 	fmt.Fprintln(os.Stderr, "lbpd: drained cleanly")
-	return 0
+	return service.ExitOK
 }

@@ -31,7 +31,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +47,7 @@ import (
 	"localbp/internal/obs"
 	"localbp/internal/repair"
 	"localbp/internal/schemes"
+	"localbp/internal/service"
 	"localbp/internal/trace"
 	"localbp/internal/workloads"
 )
@@ -77,7 +77,7 @@ func main() {
 	w, ok := workloads.ByName(*name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "lbpsim: unknown workload %q\n", *name)
-		os.Exit(2)
+		os.Exit(service.ExitConfigError)
 	}
 
 	var lcfg loop.Config
@@ -90,7 +90,7 @@ func main() {
 		lcfg = loop.Loop256()
 	default:
 		fmt.Fprintln(os.Stderr, "lbpsim: -loop must be 64, 128 or 256")
-		os.Exit(2)
+		os.Exit(service.ExitConfigError)
 	}
 
 	var tcfg tage.Config
@@ -103,7 +103,7 @@ func main() {
 		tcfg = tage.KB57()
 	default:
 		fmt.Fprintln(os.Stderr, "lbpsim: -tage must be 8, 9 or 57")
-		os.Exit(2)
+		os.Exit(service.ExitConfigError)
 	}
 
 	// Resolve the scheme through the shared registry: one name → construction
@@ -111,7 +111,7 @@ func main() {
 	scheme, def, err := schemes.Build(*schemeName, func(p *schemes.Params) { p.Loop = lcfg })
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbpsim: %v\nschemes:\n%s", err, schemes.Usage())
-		os.Exit(2)
+		os.Exit(service.ExitConfigError)
 	}
 
 	// Fail fast on malformed configurations with field-level errors before
@@ -122,7 +122,7 @@ func main() {
 	for _, err := range []error{tcfg.Validate(), lcfg.Validate(), ccfg.Validate()} {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbpsim: invalid configuration:\n%v\n", err)
-			os.Exit(2)
+			os.Exit(service.ExitConfigError)
 		}
 	}
 
@@ -141,7 +141,7 @@ func main() {
 		if *traceEvents != "" || *traceChrome != "" {
 			if *traceCap <= 0 {
 				fmt.Fprintln(os.Stderr, "lbpsim: -trace-cap must be > 0")
-				os.Exit(2)
+				os.Exit(service.ExitConfigError)
 			}
 			hooks.Tracer = obs.NewTracer(*traceCap)
 		}
@@ -159,13 +159,13 @@ func main() {
 		kinds, err := faultinject.ParseKinds(*inject)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
-			os.Exit(2)
+			os.Exit(service.ExitConfigError)
 		}
 		icfg := faultinject.Config{Seed: *injectSeed, Every: *injectEvery, Kinds: kinds}
 		built, err := faultinject.New(icfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
-			os.Exit(2)
+			os.Exit(service.ExitConfigError)
 		}
 		inj = built
 		if scheme != nil {
@@ -188,7 +188,7 @@ func main() {
 	tr := w.Generate(*insts)
 	if err := trace.Validate(tr); err != nil {
 		fmt.Fprintf(os.Stderr, "lbpsim: generated trace invalid:\n%v\n", err)
-		os.Exit(1)
+		os.Exit(service.ExitConfigError)
 	}
 	if *oracleOn {
 		ccfg.Golden = audit.NewGolden(tr)
@@ -213,11 +213,10 @@ func main() {
 	c := core.New(ccfg, unit, tr)
 	st, err := c.RunContext(ctx)
 	if err != nil {
+		// Shared exit taxonomy (service.ExitCodeForError): cancellation —
+		// signal or -timeout — exits 4, everything else 1.
 		fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
-		if errors.Is(err, core.ErrCanceled) {
-			os.Exit(4)
-		}
-		os.Exit(1)
+		os.Exit(service.ExitCodeForError(err))
 	}
 
 	fmt.Printf("\ncore:\n")
@@ -265,11 +264,11 @@ func main() {
 				return hooks.Tracer.WriteJSONL(f, labels)
 			}); err != nil {
 				fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
-				os.Exit(1)
+				os.Exit(service.ExitFailure)
 			}
 			if err := writeTrace(*traceChrome, hooks.Tracer.WriteChromeTrace); err != nil {
 				fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
-				os.Exit(1)
+				os.Exit(service.ExitFailure)
 			}
 			fmt.Printf("\ntrace: %d events emitted, %d retained\n",
 				hooks.Tracer.Total(), len(hooks.Tracer.Events()))

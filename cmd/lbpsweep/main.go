@@ -2,7 +2,10 @@
 //
 // Usage:
 //
-//	lbpsweep [-insts N] [-quick] [-workers N] [-checkpoint file] [-retries N] [-timeout D] [-list] [experiment ids...]
+//	lbpsweep [-insts N] [-quick] [-workers N] [-checkpoint file] [-retries N] [-timeout D] [-deadline D] [-list] [experiment ids...]
+//	lbpsweep -shards N -lease-dir DIR [sweep flags] [experiment ids...]
+//	lbpsweep -shard k/N -lease-dir DIR [sweep flags] [experiment ids...]
+//	lbpsweep -merge -shards N -lease-dir DIR [-merge-out file] [experiment ids...]
 //	lbpsweep -cpistack [-scheme name] [-insts N] [-quick]
 //	lbpsweep -trace-events file -workload name [-scheme name] [-insts N] [-seed N]
 //
@@ -28,6 +31,9 @@
 //     results are bit-identical to a retry-free sweep.
 //   - -timeout D bounds each workload run attempt's wall clock, composing
 //     with the cycle-domain watchdog (-insts budget and stall detection).
+//   - -deadline D bounds the whole invocation's wall clock: on expiry the
+//     sweep is canceled exactly like SIGINT (completed experiments stay
+//     checkpointed) and the process exits with code 4.
 //   - SIGINT/SIGTERM cancel the sweep gracefully: in-flight workload runs
 //     stop within one cancellation-check stride, completed experiments are
 //     already checkpointed, and the process exits with code 4.
@@ -35,9 +41,27 @@
 //     attempt-dependent synthetic faults that exercise the retry machinery
 //     without perturbing surviving results.
 //
+// Sharded sweeps (DESIGN.md §15) split the experiment set across worker
+// processes by a stable hash of the experiment id:
+//
+//   - -shards N runs the coordinator: N `lbpsweep -shard k/N` subprocesses
+//     (bounded by -shard-parallel) with durable, heartbeat-renewed leases in
+//     -lease-dir; a worker whose lease expires (crash, OOM kill, freeze) has
+//     its shard reassigned to a fresh worker, which resumes from the shard's
+//     checkpoint. -chaos-kill k SIGKILLs shard k's first worker mid-shard to
+//     rehearse exactly that path.
+//   - -shard k/N runs one worker: lease out shard k, sweep its assigned
+//     experiments into the shard checkpoint, heartbeat every
+//     -lease-heartbeat, release on exit. Workers may equally be launched by
+//     hand or by coordinators on different machines sharing -lease-dir.
+//   - -merge folds the per-shard checkpoints through an integrity gate
+//     (CRC per shard, option-stamp agreement, every expected experiment
+//     exactly once) and prints the canonical timing-free output, which is
+//     bit-identical to the same render of a single-process sweep.
+//
 // Exit codes: 0 all experiments ok; 1 partial (some experiments or workload
 // runs failed); 2 configuration error; 3 every attempted experiment failed;
-// 4 interrupted.
+// 4 interrupted (signal or -deadline).
 //
 // Observability modes:
 //
@@ -62,6 +86,7 @@ import (
 	"runtime/metrics"
 	"runtime/pprof"
 	"syscall"
+	"time"
 
 	"localbp/internal/harness"
 	"localbp/internal/obs"
@@ -82,6 +107,17 @@ func run() int {
 	checkpoint := flag.String("checkpoint", "", "file for checkpoint/resume of completed experiments")
 	retries := flag.Int("retries", 0, "retry budget for transiently failed workload runs")
 	timeout := flag.Duration("timeout", 0, "wall-clock cap per workload run attempt (0 = none)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole invocation; on expiry the sweep is canceled and exits 4 (0 = none)")
+	shardSpec := flag.String("shard", "", "worker mode: run shard k/N of the selected experiments (requires -lease-dir)")
+	shards := flag.Int("shards", 0, "coordinator mode: run the sweep across N worker processes (requires -lease-dir); also the N for -merge")
+	merge := flag.Bool("merge", false, "merge the per-shard checkpoints in -lease-dir (or render -checkpoint) and print the canonical timing-free output")
+	leaseDir := flag.String("lease-dir", "", "directory for shard lease journals, per-shard checkpoints and worker logs")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "shard lease time-to-live; a worker silent this long is presumed dead and its shard reassigned")
+	leaseHB := flag.Duration("lease-heartbeat", 0, "shard lease renewal interval (0 = lease-ttl/4)")
+	shardAttempts := flag.Int("shard-attempts", 3, "workers spawned per shard before declaring it retry-exhausted (coordinator mode)")
+	shardParallel := flag.Int("shard-parallel", 0, "concurrently running workers (0 = all shards at once)")
+	chaosKill := flag.Int("chaos-kill", -1, "coordinator chaos: SIGKILL this shard's first worker once it is observably mid-shard (negative = off)")
+	mergeOut := flag.String("merge-out", "", "with -merge: also save the merged checkpoint to this file")
 	inject := flag.String("inject", "", "chaos injection mode; accepted values: 'transient' (deterministically fail leading run attempts; pair with -retries) or empty to disable — anything else is a configuration error (exit 2)")
 	injectSeed := flag.Uint64("inject-seed", 1, "seed for the -inject chaos plan")
 	auditSample := flag.Int("audit-sample", 0, "run the integrity auditor + golden model on every Nth workload per spec (0 = off)")
@@ -109,6 +145,14 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -deadline composes with signal cancellation: whichever fires first
+	// cancels the same context, and both exit 4 with the work checkpointed.
+	if *deadline > 0 {
+		dctx, cancelDeadline := context.WithTimeout(ctx, *deadline)
+		defer cancelDeadline()
+		ctx = dctx
+	}
+
 	if *pprofDir != "" {
 		stopProf, err := startProfiles(*pprofDir)
 		if err != nil {
@@ -131,6 +175,31 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "lbpsweep: unknown -inject mode %q (supported: transient)\n", *inject)
 		return int(service.SweepConfigError)
+	}
+
+	sf := shardFlags{
+		spec:       *shardSpec,
+		shards:     *shards,
+		merge:      *merge,
+		dir:        *leaseDir,
+		ttl:        *leaseTTL,
+		heartbeat:  *leaseHB,
+		attempts:   *shardAttempts,
+		parallel:   *shardParallel,
+		chaosKill:  *chaosKill,
+		mergeOut:   *mergeOut,
+		checkpoint: *checkpoint,
+	}
+	switch {
+	case sf.merge:
+		return runMerge(sf, flag.Args())
+	case sf.spec != "" && sf.shards > 0:
+		fmt.Fprintln(os.Stderr, "lbpsweep: -shard (worker) and -shards (coordinator) are mutually exclusive")
+		return service.ExitConfigError
+	case sf.spec != "":
+		return runShardWorker(ctx, sf, opts, flag.Args(), *verbose)
+	case sf.shards > 0:
+		return runCoordinator(ctx, sf, opts, flag.Args(), *verbose)
 	}
 
 	if *cpistack {

@@ -1,0 +1,309 @@
+// Sharded sweep modes: worker (-shard k/N), coordinator (-shards N) and
+// merge (-merge). The partition is a pure function of (experiment id, N), so
+// any process — this coordinator, one on another machine, an operator's
+// shell — computes identical shard assignments; coordination happens only
+// through the lease journals and per-shard checkpoints in -lease-dir. See
+// DESIGN.md §15 for the protocol.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"localbp/internal/harness"
+	"localbp/internal/service"
+	"localbp/internal/shard"
+)
+
+// shardFlags carries the sharding knobs out of flag parsing.
+type shardFlags struct {
+	spec       string        // -shard k/N (worker mode)
+	shards     int           // -shards N (coordinator mode; also -merge's N)
+	merge      bool          // -merge
+	dir        string        // -lease-dir
+	ttl        time.Duration // -lease-ttl
+	heartbeat  time.Duration // -lease-heartbeat (0 = ttl/4)
+	attempts   int           // -shard-attempts
+	parallel   int           // -shard-parallel
+	chaosKill  int           // -chaos-kill (negative = off)
+	mergeOut   string        // -merge-out
+	checkpoint string        // -checkpoint (single-file render for -merge)
+}
+
+// expandIDs resolves the experiment selection: explicit args validated
+// up-front (a typo must fail the whole fleet immediately, not strand one
+// shard), or every experiment in paper order.
+func expandIDs(args []string) ([]string, error) {
+	if len(args) == 0 {
+		var ids []string
+		for _, e := range harness.Experiments() {
+			ids = append(ids, e.ID)
+		}
+		return ids, nil
+	}
+	for _, id := range args {
+		if _, ok := harness.ExperimentByID(id); !ok {
+			return nil, fmt.Errorf("unknown experiment id %q (use -list)", id)
+		}
+	}
+	return args, nil
+}
+
+// runShardWorker is `lbpsweep -shard k/N`: acquire the shard's lease, sweep
+// the experiments the partition assigns to shard k into the per-shard
+// checkpoint, heartbeat while working, release on exit. Respawn-after-death
+// is someone else's job (the coordinator, cron, an operator); the worker's
+// whole contract is the lease protocol plus the checkpoint.
+func runShardWorker(ctx context.Context, sf shardFlags, opts harness.Options, args []string, verbose bool) int {
+	k, n, err := shard.ParseSpec(sf.spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+		return service.ExitConfigError
+	}
+	if sf.dir == "" {
+		fmt.Fprintln(os.Stderr, "lbpsweep: -shard requires -lease-dir")
+		return service.ExitConfigError
+	}
+	ids, err := expandIDs(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+		return service.ExitConfigError
+	}
+	if err := os.MkdirAll(sf.dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+		return service.ExitFailure
+	}
+
+	l, err := shard.Acquire(sf.dir, k, n, shard.Owner(), sf.ttl)
+	if errors.Is(err, shard.ErrLeaseHeld) {
+		// Another worker is live on this shard. Exit 4 (interrupted — the
+		// work is resumable) so a supervising coordinator classifies the
+		// exit transient and retries once the incumbent's lease expires.
+		fmt.Fprintf(os.Stderr, "lbpsweep: shard %d/%d: %v\n", k, n, err)
+		return service.ExitCanceled
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: shard %d/%d: %v\n", k, n, err)
+		return service.ExitFailure
+	}
+
+	assigned := shard.Assigned(ids, k, n)
+	if len(assigned) == 0 {
+		// More shards than work. Never fall through to RunSweep here: an
+		// empty id list there means "every experiment".
+		fmt.Printf("lbpsweep: shard %d/%d: no assigned experiments\n", k, n)
+		l.Release()
+		return service.ExitOK
+	}
+
+	hb := sf.heartbeat
+	if hb <= 0 {
+		hb = sf.ttl / 4
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var lost atomic.Bool
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		l.Heartbeat(hctx, hb, func(error) {
+			// Fenced: a successor owns the shard now. Stop sweeping within
+			// one cancellation stride so this zombie cannot race the
+			// successor's checkpoint writes.
+			lost.Store(true)
+			cancel()
+		})
+	}()
+
+	fmt.Printf("lbpsweep: shard %d/%d (lease epoch %d): %d experiment(s): %s\n",
+		k, n, l.Epoch(), len(assigned), strings.Join(assigned, " "))
+	cfg := service.SweepConfig{
+		Opts:       opts,
+		IDs:        assigned,
+		Checkpoint: shard.CheckpointPath(sf.dir, k, n),
+		Out:        os.Stdout,
+		Errs:       os.Stderr,
+	}
+	if verbose {
+		cfg.Log = os.Stderr
+	}
+	rep, rerr := service.RunSweep(hctx, cfg)
+	cancel() // stop heartbeating before touching the journal again
+	<-hbDone
+
+	if lost.Load() {
+		fmt.Fprintf(os.Stderr, "lbpsweep: shard %d/%d: lease lost (fenced by a successor); exiting without release\n", k, n)
+		return service.ExitCanceled
+	}
+	if rerr != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", rerr)
+		l.Release()
+		return service.ExitConfigError
+	}
+	status := rep.Status()
+	fmt.Fprintf(os.Stderr, "lbpsweep: shard %d/%d: %s: %s\n", k, n, status, rep.Summary())
+	l.Release()
+	return int(status)
+}
+
+// runCoordinator is `lbpsweep -shards N`: spawn one `-shard k/N` worker
+// subprocess per shard (bounded by -shard-parallel), supervise their leases,
+// and reassign dead shards after lease expiry. Worker output goes to
+// per-attempt log files in -lease-dir; results land in the per-shard
+// checkpoints, to be folded by -merge.
+func runCoordinator(ctx context.Context, sf shardFlags, opts harness.Options, args []string, verbose bool) int {
+	if sf.dir == "" {
+		fmt.Fprintln(os.Stderr, "lbpsweep: -shards requires -lease-dir")
+		return service.ExitConfigError
+	}
+	if _, err := expandIDs(args); err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+		return service.ExitConfigError
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+		return service.ExitFailure
+	}
+
+	workerArgs := func(k int) []string {
+		a := []string{
+			"-shard", fmt.Sprintf("%d/%d", k, sf.shards),
+			"-lease-dir", sf.dir,
+			"-lease-ttl", sf.ttl.String(),
+			"-lease-heartbeat", sf.heartbeat.String(),
+			"-insts", fmt.Sprint(opts.Insts),
+			"-warmup", fmt.Sprint(opts.Warmup),
+			"-workers", fmt.Sprint(opts.Workers),
+			"-retries", fmt.Sprint(opts.Retries),
+			"-timeout", opts.RunTimeout.String(),
+		}
+		if opts.Quick {
+			a = append(a, "-quick")
+		}
+		if opts.AuditSample > 0 {
+			a = append(a, "-audit-sample", fmt.Sprint(opts.AuditSample))
+		}
+		if verbose {
+			a = append(a, "-v")
+		}
+		return append(a, args...)
+	}
+
+	cfg := shard.Config{
+		Dir:         sf.dir,
+		Shards:      sf.shards,
+		Parallel:    sf.parallel,
+		TTL:         sf.ttl,
+		MaxAttempts: sf.attempts,
+		Retry:       service.DefaultRetryPolicy(),
+		Log:         os.Stderr,
+		Spawn: func(_ context.Context, k, attempt int) (shard.Worker, error) {
+			cmd := exec.Command(exe, workerArgs(k)...)
+			logPath := filepath.Join(sf.dir, fmt.Sprintf("worker-%03d.attempt-%d.log", k, attempt))
+			f, err := os.Create(logPath)
+			if err != nil {
+				return nil, err
+			}
+			cmd.Stdout, cmd.Stderr = f, f
+			w, err := shard.StartCommand(cmd)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			return &loggedWorker{Worker: w, log: f}, nil
+		},
+	}
+	if sf.chaosKill >= 0 {
+		cfg.Chaos, cfg.ChaosKill = true, sf.chaosKill
+	}
+
+	rep, err := shard.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+		return service.ExitConfigError
+	}
+	status := rep.Status()
+	fmt.Fprintf(os.Stderr, "lbpsweep: coordinator: %s: %s (worker logs in %s)\n", status, rep.Summary(), sf.dir)
+	if status == service.SweepOK {
+		fmt.Fprintf(os.Stderr, "lbpsweep: merge with: lbpsweep -merge -shards %d -lease-dir %s\n", sf.shards, sf.dir)
+	}
+	return int(status)
+}
+
+// loggedWorker closes the worker's log file once it has terminated.
+type loggedWorker struct {
+	shard.Worker
+	log *os.File
+}
+
+func (w *loggedWorker) Wait() error {
+	err := w.Worker.Wait()
+	w.log.Close()
+	return err
+}
+
+// runMerge is `lbpsweep -merge`: fold the per-shard checkpoints in
+// -lease-dir through the integrity gate and print the canonical, timing-free
+// sweep output. With -checkpoint it instead renders a single-process sweep's
+// checkpoint the same way — the two renders over the same ids are
+// bit-identical, which is the differential the smoke test pins.
+func runMerge(sf shardFlags, args []string) int {
+	ids, err := expandIDs(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+		return service.ExitConfigError
+	}
+
+	var merged *harness.Checkpoint
+	switch {
+	case sf.checkpoint != "":
+		ck, err := harness.LoadCheckpoint(sf.checkpoint)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+			return service.ExitFailure
+		}
+		if ck == nil {
+			fmt.Fprintf(os.Stderr, "lbpsweep: no checkpoint at %s\n", sf.checkpoint)
+			return service.ExitConfigError
+		}
+		if ck.Note != "" {
+			fmt.Fprintf(os.Stderr, "lbpsweep: %s\n", ck.Note)
+		}
+		merged = ck
+	case sf.dir != "" && sf.shards >= 1:
+		m, mrep, err := shard.Merge(sf.dir, sf.shards, ids)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+			var merr *shard.MergeError
+			if errors.As(err, &merr) {
+				return service.ExitFailure // integrity gate tripped
+			}
+			return service.ExitConfigError
+		}
+		fmt.Fprintf(os.Stderr, "lbpsweep: %s\n", mrep.Summary())
+		merged = m
+	default:
+		fmt.Fprintln(os.Stderr, "lbpsweep: -merge needs -lease-dir with -shards N (or -checkpoint file)")
+		return service.ExitConfigError
+	}
+
+	if sf.mergeOut != "" {
+		if err := merged.Save(sf.mergeOut); err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+			return service.ExitFailure
+		}
+	}
+	if err := shard.Render(os.Stdout, merged, ids); err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+		return service.ExitFailure
+	}
+	return service.ExitOK
+}

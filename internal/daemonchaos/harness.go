@@ -24,18 +24,24 @@ import (
 	"time"
 )
 
-// Build compiles cmd/lbpd into tb's temp dir and returns the binary path.
-// Extra build flags (e.g. "-race" for the chaos suite) go before -o.
-func Build(tb testing.TB, buildFlags ...string) string {
+// BuildBinary compiles pkg into tb's temp dir and returns the binary path.
+// Extra build flags (e.g. "-race" for the chaos suites) go before -o. The
+// sweep-fleet chaos tests build cmd/lbpsweep through this too.
+func BuildBinary(tb testing.TB, pkg string, buildFlags ...string) string {
 	tb.Helper()
-	bin := filepath.Join(tb.TempDir(), "lbpd")
-	args := append(append([]string{"build"}, buildFlags...), "-o", bin, "localbp/cmd/lbpd")
+	bin := filepath.Join(tb.TempDir(), filepath.Base(pkg))
+	args := append(append([]string{"build"}, buildFlags...), "-o", bin, pkg)
 	cmd := exec.Command("go", args...)
 	cmd.Env = os.Environ()
 	if out, err := cmd.CombinedOutput(); err != nil {
-		tb.Fatalf("building lbpd: %v\n%s", err, out)
+		tb.Fatalf("building %s: %v\n%s", pkg, err, out)
 	}
 	return bin
+}
+
+// Build compiles cmd/lbpd into tb's temp dir and returns the binary path.
+func Build(tb testing.TB, buildFlags ...string) string {
+	return BuildBinary(tb, "localbp/cmd/lbpd", buildFlags...)
 }
 
 // Harness manages one lbpd process generation at a time. Kill + Start on the

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 )
 
@@ -109,6 +110,56 @@ func (c *Checkpoint) Record(id string, out ExperimentOutcome) {
 	c.Completed[id] = out
 }
 
+// CompletedIDs returns the completed experiment ids in sorted order.
+func (c *Checkpoint) CompletedIDs() []string {
+	ids := make([]string, 0, len(c.Completed))
+	for id := range c.Completed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Options reconstructs the result-shaping options the checkpoint was
+// recorded under (the fields Matches compares).
+func (c *Checkpoint) Options() Options {
+	return Options{Insts: c.Insts, Warmup: c.Warmup, Quick: c.Quick}
+}
+
+// MergeCheckpoints folds the parts of a sharded sweep into one checkpoint.
+// Every part must carry the same result-shaping options (results recorded
+// under different -insts/-warmup/-quick are not interchangeable), and no
+// experiment may be completed in more than one part — a duplicate means two
+// shards ran the same work, which a correct deterministic partition makes
+// impossible, so it is an integrity failure rather than something to paper
+// over by picking a winner. Nil parts (missing shard checkpoints the caller
+// chose to tolerate) are skipped.
+func MergeCheckpoints(parts []*Checkpoint) (*Checkpoint, error) {
+	var merged *Checkpoint
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		if merged == nil {
+			merged = NewCheckpoint(p.Options())
+		} else if !p.Matches(merged.Options()) {
+			return nil, fmt.Errorf(
+				"checkpoint merge: part %d was recorded with -insts %d -warmup %d -quick %v, others with -insts %d -warmup %d -quick %v",
+				i, p.Insts, p.Warmup, p.Quick, merged.Insts, merged.Warmup, merged.Quick)
+		}
+		for _, id := range p.CompletedIDs() {
+			if _, dup := merged.Completed[id]; dup {
+				return nil, fmt.Errorf("checkpoint merge: experiment %s completed in more than one part", id)
+			}
+			merged.Completed[id] = p.Completed[id]
+		}
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("checkpoint merge: no checkpoints to merge")
+	}
+	return merged, nil
+}
+
 // prevGeneration names the rotated previous checkpoint generation.
 func prevGeneration(path string) string { return path + ".1" }
 
@@ -121,9 +172,11 @@ func prevGeneration(path string) string { return path + ".1" }
 //  3. <path> corrupt (torn write, CRC mismatch, unparsable) → preserve the
 //     damaged file as <path>.corrupt, then fall back to <path>.1 when that
 //     generation is valid; the returned checkpoint's Note describes the
-//     recovery. With no valid generation the *CorruptError is returned —
-//     it names the preserved file, the byte offset and the cause, and the
-//     next invocation starts fresh (the damaged file is out of the way).
+//     recovery. A corrupt <path>.1 is itself preserved as <path>.1.corrupt.
+//     With both generations damaged the *CorruptError is returned — it
+//     names the preserved file, the byte offset and both causes, and the
+//     next invocation starts fresh (every damaged file is out of the way,
+//     so a resume can never proceed from garbage).
 //
 // A version-mismatched (but intact) file is an error, not corruption: it is
 // left in place for the caller to decide about.
@@ -135,11 +188,13 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err == nil {
 		// Main checkpoint missing: a crash window between rotating the old
 		// generation aside and renaming the new one in leaves only <path>.1.
-		if prev, perr := loadGeneration(prevGeneration(path)); perr == nil && prev != nil {
+		if prev, perr := loadPrevGeneration(path); perr == nil && prev != nil {
 			prev.Note = fmt.Sprintf("checkpoint %s missing; resumed from previous generation %s",
 				path, prevGeneration(path))
 			return prev, nil
 		}
+		// No usable generation at all (a damaged <path>.1 was quarantined by
+		// loadPrevGeneration): start fresh.
 		return nil, nil
 	}
 	var ce *CorruptError
@@ -150,12 +205,39 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if rerr := os.Rename(path, preserved); rerr == nil {
 		ce.PreservedAs = preserved
 	}
-	if prev, perr := loadGeneration(prevGeneration(path)); perr == nil && prev != nil {
+	prev, perr := loadPrevGeneration(path)
+	if perr == nil && prev != nil {
 		prev.Note = fmt.Sprintf("recovered from previous generation %s after: %v",
 			prevGeneration(path), ce)
 		return prev, nil
 	}
+	if perr != nil {
+		// Both generations damaged: every damaged file is quarantined (the
+		// next invocation starts fresh, never resumes from garbage) and the
+		// error names both causes.
+		ce.Cause = fmt.Errorf("%w; previous generation also unusable: %v", ce.Cause, perr)
+	}
 	return nil, ce
+}
+
+// loadPrevGeneration loads <path>.1 with the same quarantine discipline as
+// the main generation: a corrupt previous generation is moved aside to
+// <path>.1.corrupt so no damaged file remains anywhere on the recovery path
+// — a later Save/Load cycle must never rotate over or resume from garbage.
+func loadPrevGeneration(path string) (*Checkpoint, error) {
+	prevPath := prevGeneration(path)
+	prev, err := loadGeneration(prevPath)
+	if err == nil {
+		return prev, nil
+	}
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		preserved := prevPath + ".corrupt"
+		if rerr := os.Rename(prevPath, preserved); rerr == nil {
+			ce.PreservedAs = preserved
+		}
+	}
+	return nil, err
 }
 
 // loadGeneration reads one checkpoint file. A missing file returns

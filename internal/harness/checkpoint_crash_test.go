@@ -158,6 +158,141 @@ func TestCheckpointLegacyBareJSON(t *testing.T) {
 	}
 }
 
+// TestCheckpointBothGenerationsDamaged exercises the worst rotation outcome:
+// the primary AND the rotated .1 generation are both corrupt. Recovery must
+// fall back cleanly — quarantine both damaged files, report both causes,
+// and let the next invocation start fresh — never resume from garbage.
+func TestCheckpointBothGenerationsDamaged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	savedCheckpoint(t, path, "table1", "fig4") // two saves → two generations
+
+	// Damage both generations differently: truncate the primary (torn
+	// write), flip a payload byte in the rotated generation (bit rot).
+	for _, d := range []struct {
+		p      string
+		damage func([]byte) []byte
+	}{
+		{path, func(b []byte) []byte { return b[:len(b)/2] }},
+		{prevGeneration(path), func(b []byte) []byte { b[len(b)-3] ^= 0x40; return b }},
+	} {
+		data, err := os.ReadFile(d.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(d.p, d.damage(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, err := LoadCheckpoint(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError with both generations damaged, got %v", err)
+	}
+	if !strings.Contains(ce.Error(), "previous generation also unusable") {
+		t.Fatalf("error does not report the damaged previous generation: %v", ce)
+	}
+	// Both damaged files are quarantined; neither remains on the resume path.
+	for _, p := range []string{path, prevGeneration(path)} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("damaged file %s still on the resume path (stat err: %v)", p, err)
+		}
+		if _, err := os.Stat(p + ".corrupt"); err != nil {
+			t.Fatalf("damaged file not preserved as %s.corrupt: %v", p, err)
+		}
+	}
+
+	// Recovery is clean: the next load starts fresh instead of resuming from
+	// garbage, and a full save/load round-trip works on the scrubbed path.
+	ck, err := LoadCheckpoint(path)
+	if ck != nil || err != nil {
+		t.Fatalf("after quarantine: got (%v, %v), want fresh start", ck, err)
+	}
+	fresh := NewCheckpoint(Options{Insts: 20_000, Quick: true})
+	fresh.Record("fig8", ExperimentOutcome{Output: "fresh\n", Seconds: 1})
+	if err := fresh.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil || got == nil {
+		t.Fatalf("post-recovery save/load failed: (%v, %v)", got, err)
+	}
+	if _, ok := got.Done("table1"); ok {
+		t.Fatal("resumed a result from a damaged generation")
+	}
+	if out, ok := got.Done("fig8"); !ok || out.Output != "fresh\n" {
+		t.Fatalf("fresh checkpoint did not round-trip: %+v ok=%v", out, ok)
+	}
+}
+
+// TestCheckpointMissingMainCorruptPrev: the main generation is gone and the
+// rotated one is damaged — the loader quarantines the damaged .1 and starts
+// fresh rather than resuming from garbage or failing forever.
+func TestCheckpointMissingMainCorruptPrev(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	savedCheckpoint(t, path, "table1", "fig4")
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	prevPath := prevGeneration(path)
+	data, err := os.ReadFile(prevPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(prevPath, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := LoadCheckpoint(path)
+	if ck != nil || err != nil {
+		t.Fatalf("got (%v, %v), want clean fresh start", ck, err)
+	}
+	if _, err := os.Stat(prevPath + ".corrupt"); err != nil {
+		t.Fatalf("damaged previous generation not quarantined: %v", err)
+	}
+}
+
+// TestMergeCheckpoints covers the fold used by sharded sweeps: disjoint
+// parts merge; an id completed in two parts and mismatched option stamps are
+// hard errors.
+func TestMergeCheckpoints(t *testing.T) {
+	opts := Options{Insts: 20_000, Quick: true}
+	part := func(ids ...string) *Checkpoint {
+		ck := NewCheckpoint(opts)
+		for _, id := range ids {
+			ck.Record(id, ExperimentOutcome{Output: "out " + id + "\n", Seconds: 1})
+		}
+		return ck
+	}
+
+	merged, err := MergeCheckpoints([]*Checkpoint{part("table1", "fig4"), nil, part("fig8")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.CompletedIDs(); len(got) != 3 {
+		t.Fatalf("merged ids = %v, want 3 entries", got)
+	}
+	if !merged.Matches(opts) {
+		t.Fatal("merged checkpoint lost the option stamp")
+	}
+
+	if _, err := MergeCheckpoints([]*Checkpoint{part("table1"), part("table1")}); err == nil ||
+		!strings.Contains(err.Error(), "more than one part") {
+		t.Fatalf("duplicate id not rejected: %v", err)
+	}
+
+	other := NewCheckpoint(Options{Insts: 99, Quick: false})
+	other.Record("fig9", ExperimentOutcome{})
+	if _, err := MergeCheckpoints([]*Checkpoint{part("table1"), other}); err == nil ||
+		!strings.Contains(err.Error(), "-insts") {
+		t.Fatalf("option mismatch not rejected: %v", err)
+	}
+
+	if _, err := MergeCheckpoints(nil); err == nil {
+		t.Fatal("empty merge not rejected")
+	}
+}
+
 // TestCheckpointEnvelopeHeaderDamage: garbage where the envelope header
 // should be is corruption at offset 0, not a silent fresh start.
 func TestCheckpointEnvelopeHeaderDamage(t *testing.T) {

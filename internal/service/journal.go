@@ -1,12 +1,10 @@
 package service
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"os"
-	"strconv"
 	"time"
 
 	"localbp"
@@ -106,57 +104,20 @@ func openJournal(path string) (*journal, []journalRecord, replayNote, error) {
 }
 
 // decodeJournal parses framed records from data, returning the intact prefix
-// records and the byte offset up to which the file is valid. Parsing stops at
-// the first damaged frame (torn append, CRC mismatch, malformed header) —
-// everything before it is trustworthy, everything after is discarded.
+// records and the byte offset up to which the file is valid. Framing damage
+// (torn append, CRC mismatch, malformed header) is handled by DecodeFrames;
+// a frame whose intact payload fails to unmarshal also ends the valid prefix
+// — everything before it is trustworthy, everything after is discarded.
 func decodeJournal(data []byte) (recs []journalRecord, valid int64) {
-	off := int64(0)
-	for int(off) < len(data) {
-		rest := data[off:]
-		nl := bytes.IndexByte(rest, '\n')
-		if nl < 0 {
-			return recs, off // torn tail: no record terminator
-		}
-		line := rest[:nl]
-		// Header: magic, crc hex, payload length — three space-separated
-		// fields before the payload itself.
-		p1 := bytes.IndexByte(line, ' ')
-		if p1 < 0 || string(line[:p1]) != journalMagic {
-			return recs, off
-		}
-		p2 := bytes.IndexByte(line[p1+1:], ' ')
-		if p2 < 0 {
-			return recs, off
-		}
-		p2 += p1 + 1
-		p3 := bytes.IndexByte(line[p2+1:], ' ')
-		if p3 < 0 {
-			return recs, off
-		}
-		p3 += p2 + 1
-		wantCRC, err := strconv.ParseUint(string(line[p1+1:p2]), 16, 32)
-		if err != nil {
-			return recs, off
-		}
-		wantLen, err := strconv.Atoi(string(line[p2+1 : p3]))
-		if err != nil {
-			return recs, off
-		}
-		payload := line[p3+1:]
-		if len(payload) != wantLen {
-			return recs, off // torn append or embedded newline damage
-		}
-		if crc32.Checksum(payload, crcTable) != uint32(wantCRC) {
-			return recs, off
-		}
+	frames, valid := DecodeFrames(journalMagic, data)
+	for _, fr := range frames {
 		var rec journalRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return recs, off
+		if err := json.Unmarshal(fr.Payload, &rec); err != nil {
+			return recs, fr.Offset
 		}
 		recs = append(recs, rec)
-		off += int64(nl) + 1
 	}
-	return recs, off
+	return recs, valid
 }
 
 // crcTable is the Castagnoli polynomial, matching the checkpoint envelope.
@@ -173,8 +134,7 @@ func (jl *journal) append(rec journalRecord) error {
 	if err != nil {
 		return fmt.Errorf("journal %s: %w", jl.path, err)
 	}
-	frame := fmt.Appendf(nil, "%s %08x %d %s\n", journalMagic,
-		crc32.Checksum(payload, crcTable), len(payload), payload)
+	frame := EncodeFrame(journalMagic, payload)
 	if _, err := jl.f.Write(frame); err != nil {
 		return fmt.Errorf("journal %s: %w", jl.path, err)
 	}

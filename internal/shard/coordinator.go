@@ -1,0 +1,417 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"localbp/internal/harness"
+	"localbp/internal/service"
+)
+
+// Worker is one spawned shard worker as the coordinator sees it: something
+// it can wait on and, when the lease protocol demands it, kill. The
+// production implementation wraps an `lbpsweep -shard k/N` subprocess
+// (StartCommand); tests substitute in-process fakes.
+type Worker interface {
+	// Wait blocks until the worker terminates and returns its failure (nil
+	// on success, *exec.ExitError for a subprocess that exited non-zero or
+	// died on a signal).
+	Wait() error
+	// Kill terminates the worker immediately (SIGKILL-grade: no drain).
+	Kill() error
+}
+
+// Spawner launches a worker for shard k (attempt is 1-based, for logging
+// and log-file naming). The worker must acquire the shard's lease itself —
+// the coordinator only ever observes the journal, so the protocol is
+// identical whether a worker was spawned by this coordinator, a coordinator
+// on another machine, or an operator's shell.
+type Spawner func(ctx context.Context, k, attempt int) (Worker, error)
+
+// ErrWorkerFrozen marks a worker that was killed by the coordinator because
+// its lease went stale while the process was still alive (SIGSTOP, livelock,
+// scheduler starvation). Always transient: the shard is reassigned.
+var ErrWorkerFrozen = errors.New("shard: worker frozen (lease stale while process alive)")
+
+// Config parameterizes a coordinator run.
+type Config struct {
+	Dir    string // lease + checkpoint directory (shared across workers)
+	Shards int    // N: the partition's denominator
+
+	// Parallel caps concurrently running workers; <= 0 runs all shards at
+	// once. With Parallel < Shards the coordinator is a work queue: shards
+	// wait for a slot, exactly how a fleet larger than its worker pool runs.
+	Parallel int
+
+	// TTL is the lease expiry: a shard whose journal is silent this long is
+	// considered abandoned. Must comfortably exceed Heartbeat (the worker's
+	// renewal period); 4-10× is the sane band. <= 0 defaults to 10s.
+	TTL time.Duration
+	// Poll is how often the coordinator re-reads lease journals while
+	// supervising and while awaiting expiry; <= 0 defaults to TTL/8.
+	Poll time.Duration
+
+	// MaxAttempts bounds total runs per shard (first included); <= 0
+	// defaults to 3. Between attempts the coordinator waits for the lease to
+	// expire, fences the dead epoch, and sleeps the Retry policy's jittered
+	// backoff — the same classified-retry shape as workload runs, one level
+	// up.
+	MaxAttempts int
+	Retry       service.RetryPolicy
+
+	Spawn Spawner
+	Log   io.Writer // coordinator progress; nil discards
+
+	// Chaos arms ChaosKill. It is a separate switch so the Config zero
+	// value stays chaos-free — shard 0 is a valid ChaosKill target.
+	Chaos bool
+	// ChaosKill is the shard whose first worker is SIGKILLed once it is
+	// observably mid-shard (lease held and at least one experiment flushed
+	// to its checkpoint). Deterministic fault injection for the lease /
+	// reassignment path — the distributed analog of -inject transient.
+	ChaosKill int
+}
+
+// withDefaults fills the zero-value knobs.
+func (c Config) withDefaults() Config {
+	if c.TTL <= 0 {
+		c.TTL = 10 * time.Second
+	}
+	if c.Poll <= 0 {
+		c.Poll = max(c.TTL/8, 5*time.Millisecond)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Parallel <= 0 || c.Parallel > c.Shards {
+		c.Parallel = c.Shards
+	}
+	if c.Retry == (service.RetryPolicy{}) {
+		c.Retry = service.DefaultRetryPolicy()
+	}
+	return c
+}
+
+// ShardResult is one shard's terminal outcome.
+type ShardResult struct {
+	Shard         int
+	Attempts      int                // workers spawned for this shard
+	Reassignments int                // lease-expiry handoffs between them
+	Class         harness.ErrorClass // "" on success
+	Err           error              // final failure, nil on success
+}
+
+// Report is the coordinator's overall outcome.
+type Report struct {
+	Results     []ShardResult
+	Interrupted bool
+}
+
+// Status folds the per-shard outcomes into the shared exit-code scheme.
+func (r *Report) Status() service.SweepStatus {
+	if r.Interrupted {
+		return service.SweepInterrupted
+	}
+	failed := 0
+	for _, s := range r.Results {
+		if s.Class != "" {
+			failed++
+		}
+	}
+	switch {
+	case failed == 0:
+		return service.SweepOK
+	case failed == len(r.Results):
+		return service.SweepAllFailed
+	default:
+		return service.SweepPartial
+	}
+}
+
+// Summary renders the one-line coordinator outcome.
+func (r *Report) Summary() string {
+	ok, reassigned := 0, 0
+	var failed []string
+	for _, s := range r.Results {
+		if s.Class == "" {
+			ok++
+		} else {
+			failed = append(failed, fmt.Sprintf("%d (%s)", s.Shard, s.Class))
+		}
+		reassigned += s.Reassignments
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d shards ok", ok, len(r.Results))
+	if reassigned > 0 {
+		fmt.Fprintf(&b, ", %d reassigned after lease expiry", reassigned)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(&b, "; failed shards: %s", strings.Join(failed, ", "))
+	}
+	return b.String()
+}
+
+// Run drives all shards to a terminal state: spawn workers (bounded by
+// Parallel), supervise their leases, and on failure classify + reassign
+// after lease expiry with jittered backoff. It returns a non-nil error only
+// for configuration problems; shard failures live in the Report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Dir == "" || cfg.Shards < 1 || cfg.Spawn == nil {
+		return nil, fmt.Errorf("shard: coordinator needs Dir, Shards >= 1 and a Spawner")
+	}
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+
+	rep := &Report{Results: make([]ShardResult, cfg.Shards)}
+	sem := make(chan struct{}, cfg.Parallel)
+	var wg sync.WaitGroup
+	chaos := &chaosState{target: cfg.ChaosKill}
+	for k := 0; k < cfg.Shards; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				rep.Results[k] = ShardResult{Shard: k, Class: harness.ClassCanceled, Err: ctx.Err()}
+				return
+			}
+			rep.Results[k] = runShard(ctx, cfg, k, chaos)
+		}(k)
+	}
+	wg.Wait()
+	rep.Interrupted = ctx.Err() != nil
+	return rep, nil
+}
+
+// chaosState fires the ChaosKill injection at most once per coordinator run.
+type chaosState struct {
+	target int
+	once   sync.Once
+}
+
+// runShard drives one shard to a terminal state.
+func runShard(ctx context.Context, cfg Config, k int, chaos *chaosState) ShardResult {
+	res := ShardResult{Shard: k}
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		if ctx.Err() != nil {
+			res.Class, res.Err = harness.ClassCanceled, ctx.Err()
+			return res
+		}
+		w, err := cfg.Spawn(ctx, k, attempt)
+		if err != nil {
+			res.Class, res.Err = harness.ClassPermanent, fmt.Errorf("shard %d: spawn: %w", k, err)
+			return res
+		}
+		logf(cfg.Log, "shard %d/%d: worker started (attempt %d/%d)", k, cfg.Shards, attempt, cfg.MaxAttempts)
+
+		chaosCtx, stopChaos := context.WithCancel(ctx)
+		if cfg.Chaos && cfg.ChaosKill == k && attempt == 1 {
+			go chaosKillWhenMidShard(chaosCtx, cfg, k, w, chaos)
+		}
+		err = supervise(ctx, cfg, k, w)
+		stopChaos()
+
+		if err == nil {
+			logf(cfg.Log, "shard %d/%d: completed (attempt %d)", k, cfg.Shards, attempt)
+			return res
+		}
+		if ctx.Err() != nil {
+			res.Class, res.Err = harness.ClassCanceled, err
+			return res
+		}
+		class := ClassifyWorkerExit(err)
+		logf(cfg.Log, "shard %d/%d: attempt %d failed (%s): %v", k, cfg.Shards, attempt, class, err)
+		if class != harness.ClassTransient {
+			res.Class, res.Err = class, err
+			return res
+		}
+		if attempt >= cfg.MaxAttempts {
+			res.Class, res.Err = harness.ClassExhausted, err
+			return res
+		}
+
+		// Reassignment protocol: never hand the shard to a successor while
+		// the dead worker's lease could still look live to a third party.
+		// Wait out the TTL, make the expiry durable (fencing the epoch), and
+		// only then back off and respawn.
+		if !awaitLeaseExpiry(ctx, cfg, k) {
+			res.Class, res.Err = harness.ClassCanceled, ctx.Err()
+			return res
+		}
+		if err := Expire(cfg.Dir, k, cfg.Shards); err != nil {
+			res.Class, res.Err = harness.ClassPermanent, fmt.Errorf("shard %d: fencing expired lease: %w", k, err)
+			return res
+		}
+		res.Reassignments++
+		delay := cfg.Retry.Delay(fmt.Sprintf("shard-%d", k), attempt)
+		logf(cfg.Log, "shard %d/%d: lease expired; reassigning after %s backoff", k, cfg.Shards, delay.Round(time.Millisecond))
+		sleepCtx(ctx, delay)
+	}
+}
+
+// supervise waits for the worker to terminate, additionally killing it if
+// its lease goes stale while the process is alive (a frozen worker would
+// otherwise block the shard forever: it neither exits nor heartbeats).
+func supervise(ctx context.Context, cfg Config, k int, w Worker) error {
+	done := make(chan error, 1)
+	go func() { done <- w.Wait() }()
+	t := time.NewTicker(cfg.Poll)
+	defer t.Stop()
+	start := time.Now()
+	for {
+		select {
+		case err := <-done:
+			return err
+		case <-t.C:
+			st, err := ReadLease(cfg.Dir, k, cfg.Shards)
+			if err != nil {
+				continue
+			}
+			now := time.Now()
+			// Grace for acquisition: a worker that has not (re)claimed the
+			// lease within 2×TTL of spawning is stuck before its first
+			// heartbeat; one that held it and went silent past the TTL is
+			// frozen mid-shard. Both are fenced the same way.
+			held := st.Held(now, cfg.TTL)
+			if held || now.Sub(start) < 2*cfg.TTL {
+				continue
+			}
+			w.Kill()
+			<-done
+			return fmt.Errorf("shard %d after %s: %w", k, now.Sub(start).Round(time.Millisecond), ErrWorkerFrozen)
+		}
+	}
+}
+
+// awaitLeaseExpiry polls until the shard's lease is stale (or ctx ends,
+// returning false). The dead worker's last heartbeat is at most one
+// heartbeat period old, so this waits roughly one TTL.
+func awaitLeaseExpiry(ctx context.Context, cfg Config, k int) bool {
+	t := time.NewTicker(cfg.Poll)
+	defer t.Stop()
+	for {
+		st, err := ReadLease(cfg.Dir, k, cfg.Shards)
+		if err == nil && !st.Held(time.Now(), cfg.TTL) {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+		}
+	}
+}
+
+// chaosKillWhenMidShard implements ChaosKill: SIGKILL the worker once it is
+// observably mid-shard — its lease is held AND at least one experiment has
+// been flushed to its checkpoint — so the kill always lands between a
+// durable partial result and the shard's remaining work.
+func chaosKillWhenMidShard(ctx context.Context, cfg Config, k int, w Worker, chaos *chaosState) {
+	t := time.NewTicker(max(cfg.Poll/2, time.Millisecond))
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		st, err := ReadLease(cfg.Dir, k, cfg.Shards)
+		if err != nil || !st.Held(time.Now(), cfg.TTL) {
+			continue
+		}
+		if _, err := os.Stat(CheckpointPath(cfg.Dir, k, cfg.Shards)); err != nil {
+			continue
+		}
+		chaos.once.Do(func() {
+			logf(cfg.Log, "shard %d/%d: chaos: SIGKILLing worker mid-shard", k, cfg.Shards)
+			w.Kill()
+		})
+		return
+	}
+}
+
+// ClassifyWorkerExit maps a worker termination onto the harness retry
+// taxonomy, extending harness.Classify across the process boundary:
+//
+//	signal-killed (OOM killer, node loss, chaos SIGKILL) → transient
+//	frozen (lease stale while alive)                     → transient
+//	exit 4 / canceled (interrupted; work is resumable)   → transient
+//	exit 2 (configuration error)                         → permanent
+//	exit 1, 3 (run failures: the worker already retried
+//	  transients internally, what failed is deterministic) → permanent
+func ClassifyWorkerExit(err error) harness.ErrorClass {
+	if err == nil {
+		return ""
+	}
+	if errors.Is(err, ErrWorkerFrozen) {
+		return harness.ClassTransient
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+			return harness.ClassTransient
+		}
+		switch ee.ExitCode() {
+		case service.ExitCanceled:
+			return harness.ClassTransient
+		case service.ExitConfigError:
+			return harness.ClassPermanent
+		default:
+			return harness.ClassPermanent
+		}
+	}
+	// In-process fakes: fall back to the run-level taxonomy.
+	if c := harness.Classify(err); c == harness.ClassTransient || c == harness.ClassCanceled {
+		return harness.ClassTransient
+	}
+	return harness.ClassPermanent
+}
+
+// StartCommand starts cmd and adapts it to the Worker interface (Kill sends
+// SIGKILL to the process, not the whole group — workers are direct
+// children).
+func StartCommand(cmd *exec.Cmd) (Worker, error) {
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &procWorker{cmd: cmd}, nil
+}
+
+type procWorker struct{ cmd *exec.Cmd }
+
+func (p *procWorker) Wait() error { return p.cmd.Wait() }
+func (p *procWorker) Kill() error { return p.cmd.Process.Kill() }
+
+// logf writes one coordinator progress line; nil w discards.
+func logf(w io.Writer, format string, args ...any) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "coordinator: "+format+"\n", args...)
+}
+
+// sleepCtx waits d or until ctx is canceled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

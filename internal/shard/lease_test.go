@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLeaseLifecycle walks the clean path: acquire → renew → release, with
+// the journal state agreeing at each step.
+func TestLeaseLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Acquire(dir, 0, 2, "w1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch() != 1 {
+		t.Fatalf("first epoch = %d, want 1", l.Epoch())
+	}
+	st, err := ReadLease(dir, 0, 2)
+	if err != nil || !st.Held(time.Now(), time.Second) {
+		t.Fatalf("acquired lease not held: %+v, %v", st, err)
+	}
+	if err := l.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = ReadLease(dir, 0, 2)
+	if st.Held(time.Now(), time.Second) {
+		t.Fatalf("released lease still held: %+v", st)
+	}
+
+	// A released shard is immediately re-acquirable with a bumped epoch.
+	l2, err := Acquire(dir, 0, 2, "w2", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Epoch() != 2 {
+		t.Fatalf("epoch after release = %d, want 2", l2.Epoch())
+	}
+}
+
+// TestLeaseContention: a fresh lease refuses takeover; a stale one is taken
+// over with a bumped epoch and the old holder is fenced (ErrLeaseLost on its
+// next renewal).
+func TestLeaseContention(t *testing.T) {
+	dir := t.TempDir()
+	ttl := 50 * time.Millisecond
+	old, err := Acquire(dir, 1, 3, "old", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Acquire(dir, 1, 3, "thief", ttl); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("fresh lease stolen: %v", err)
+	}
+
+	time.Sleep(ttl + 20*time.Millisecond) // the old holder goes silent
+
+	succ, err := Acquire(dir, 1, 3, "successor", ttl)
+	if err != nil {
+		t.Fatalf("stale lease not taken over: %v", err)
+	}
+	if succ.Epoch() != old.Epoch()+1 {
+		t.Fatalf("takeover epoch = %d, want %d", succ.Epoch(), old.Epoch()+1)
+	}
+	// The zombie discovers the fence on its next heartbeat.
+	if err := old.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("zombie renewal not fenced: %v", err)
+	}
+	// Even after the zombie's doomed renewal attempt, the successor is fine.
+	if err := succ.Renew(); err != nil {
+		t.Fatalf("successor fenced by zombie: %v", err)
+	}
+}
+
+// TestLeaseExpireFences: the coordinator's Expire makes staleness durable —
+// the old epoch can never renew again, and the next acquire bumps past it.
+func TestLeaseExpireFences(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Acquire(dir, 0, 1, "w", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := Expire(dir, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("expired epoch renewed: %v", err)
+	}
+	// Expire on an already-dead lease is a no-op, not an error.
+	if err := Expire(dir, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	succ, err := Acquire(dir, 0, 1, "w2", time.Second)
+	if err != nil || succ.Epoch() != 2 {
+		t.Fatalf("post-expire acquire: epoch %d, %v", succ.Epoch(), err)
+	}
+}
+
+// TestLeaseTornTailRecovered: a torn append (crash mid-write) is truncated
+// at the next acquire, and every intact record before it survives.
+func TestLeaseTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Acquire(dir, 0, 1, "w", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	path := LeasePath(dir, 0, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record mid-frame.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := ReadLease(dir, 0, 1)
+	if err != nil {
+		t.Fatalf("torn tail broke the reader: %v", err)
+	}
+	if st.Epoch != 1 || st.Op != opAcquire {
+		t.Fatalf("intact prefix lost: %+v", st)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	succ, err := Acquire(dir, 0, 1, "w2", 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("acquire over torn tail: %v", err)
+	}
+	if succ.Epoch() != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", succ.Epoch())
+	}
+	// The journal is back on a clean frame boundary: the successor's acquire
+	// is readable.
+	st, _ = ReadLease(dir, 0, 1)
+	if st.Epoch != 2 || st.Owner != "w2" {
+		t.Fatalf("post-truncation journal desynced: %+v", st)
+	}
+}
+
+// TestHeartbeatDetectsLoss: the background heartbeat invokes onLost exactly
+// once after the lease is fenced, and stops.
+func TestHeartbeatDetectsLoss(t *testing.T) {
+	dir := t.TempDir()
+	ttl := 40 * time.Millisecond
+	l, err := Acquire(dir, 0, 1, "w", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	losses := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		l.Heartbeat(ctx, 10*time.Millisecond, func(err error) {
+			mu.Lock()
+			losses++
+			mu.Unlock()
+			if !errors.Is(err, ErrLeaseLost) {
+				t.Errorf("onLost got %v, want ErrLeaseLost", err)
+			}
+		})
+	}()
+
+	// Fence the worker's epoch out from under the heartbeat.
+	time.Sleep(25 * time.Millisecond)
+	if err := appendLease(dir, leaseRecord{Op: opExpire, Shard: 0, Of: 1, Epoch: l.Epoch(), Time: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("heartbeat did not stop after fencing")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if losses != 1 {
+		t.Fatalf("onLost fired %d times, want 1", losses)
+	}
+}

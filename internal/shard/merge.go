@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"localbp/internal/harness"
+)
+
+// MergeReport is the integrity-gate accounting for one merge: what was
+// loaded, what was recovered or quarantined on the way, and how much work
+// the merged result covers.
+type MergeReport struct {
+	Shards      int      // N: shard checkpoints expected
+	Loaded      int      // shard checkpoints found and decoded
+	Experiments int      // completed experiments folded into the merge
+	Recovered   []string // per-shard generation-fallback recovery notes
+	EmptyShards []int    // shards with no checkpoint AND no assigned work (fine)
+}
+
+// MergeError is a structured integrity-gate failure: the merge refuses to
+// produce a result set that could silently be wrong. Every field lists run
+// ids (or shards) violating one gate.
+type MergeError struct {
+	MissingShards []int    // shards with assigned work but no readable checkpoint
+	Missing       []string // expected ids completed by no shard
+	Duplicates    []string // ids completed by more than one shard
+	Misplaced     []string // ids completed by a shard the partition does not assign them to
+	Unexpected    []string // completed ids outside the expected set
+	Corrupt       []string // unrecoverable shard-checkpoint load errors
+	OptionDrift   string   // option-stamp disagreement between shards, "" if none
+}
+
+// Error renders every violated gate.
+func (e *MergeError) Error() string {
+	var parts []string
+	if len(e.Corrupt) > 0 {
+		parts = append(parts, fmt.Sprintf("unrecoverable checkpoints: %s", strings.Join(e.Corrupt, "; ")))
+	}
+	if e.OptionDrift != "" {
+		parts = append(parts, e.OptionDrift)
+	}
+	if len(e.MissingShards) > 0 {
+		parts = append(parts, fmt.Sprintf("shards with assigned work but no checkpoint: %v", e.MissingShards))
+	}
+	if len(e.Missing) > 0 {
+		parts = append(parts, fmt.Sprintf("%d run(s) completed by no shard: %s", len(e.Missing), strings.Join(e.Missing, ", ")))
+	}
+	if len(e.Duplicates) > 0 {
+		parts = append(parts, fmt.Sprintf("%d run(s) completed by more than one shard: %s", len(e.Duplicates), strings.Join(e.Duplicates, ", ")))
+	}
+	if len(e.Misplaced) > 0 {
+		parts = append(parts, fmt.Sprintf("%d run(s) in the wrong shard for this partition: %s", len(e.Misplaced), strings.Join(e.Misplaced, ", ")))
+	}
+	if len(e.Unexpected) > 0 {
+		parts = append(parts, fmt.Sprintf("%d unexpected run(s): %s", len(e.Unexpected), strings.Join(e.Unexpected, ", ")))
+	}
+	return "shard merge integrity gate: " + strings.Join(parts, "; ")
+}
+
+// failed reports whether any gate tripped.
+func (e *MergeError) failed() bool {
+	return len(e.MissingShards) > 0 || len(e.Missing) > 0 || len(e.Duplicates) > 0 ||
+		len(e.Misplaced) > 0 || len(e.Unexpected) > 0 || len(e.Corrupt) > 0 || e.OptionDrift != ""
+}
+
+// Merge folds dir's N shard checkpoints into one, refusing anything that
+// could silently lose or duplicate work:
+//
+//   - each shard checkpoint is CRC-validated on load (harness.LoadCheckpoint:
+//     torn writes detected, damaged files quarantined as .corrupt, previous
+//     generations recovered automatically — recoveries are reported, not
+//     hidden);
+//   - all shards must carry the same result-shaping option stamp;
+//   - placement: every completed id must live in the shard Index assigns it
+//     to (a misplaced id means two sweeps with different N shared a dir);
+//   - coverage: every id in expected appears exactly once across all
+//     shards — zero lost, zero duplicated.
+//
+// On success the merged checkpoint is interchangeable with one written by a
+// single-process sweep of the same ids.
+func Merge(dir string, shards int, expected []string) (*harness.Checkpoint, *MergeReport, error) {
+	if shards < 1 {
+		return nil, nil, fmt.Errorf("shard: merge needs shards >= 1")
+	}
+	rep := &MergeReport{Shards: shards}
+	merr := &MergeError{}
+	want := Partition(expected, shards)
+	parts := make([]*harness.Checkpoint, shards)
+
+	for k := 0; k < shards; k++ {
+		ck, err := harness.LoadCheckpoint(CheckpointPath(dir, k, shards))
+		if err != nil {
+			merr.Corrupt = append(merr.Corrupt, fmt.Sprintf("shard %d: %v", k, err))
+			continue
+		}
+		if ck == nil {
+			if len(want[k]) > 0 {
+				merr.MissingShards = append(merr.MissingShards, k)
+			} else {
+				rep.EmptyShards = append(rep.EmptyShards, k)
+			}
+			continue
+		}
+		rep.Loaded++
+		if ck.Note != "" {
+			rep.Recovered = append(rep.Recovered, fmt.Sprintf("shard %d: %s", k, ck.Note))
+		}
+		for _, id := range ck.CompletedIDs() {
+			if Index(id, shards) != k {
+				merr.Misplaced = append(merr.Misplaced, fmt.Sprintf("%s (in shard %d, belongs to %d)", id, k, Index(id, shards)))
+			}
+		}
+		parts[k] = ck
+	}
+
+	merged, err := harness.MergeCheckpoints(parts)
+	switch {
+	case err == nil:
+	case strings.Contains(err.Error(), "more than one part"):
+		// Shouldn't be reachable while placement is enforced, but surface it
+		// through the same structured gate.
+		merr.Duplicates = append(merr.Duplicates, err.Error())
+	case strings.Contains(err.Error(), "no checkpoints"):
+		merr.MissingShards = append(merr.MissingShards, allShards(shards, rep.EmptyShards)...)
+	default:
+		merr.OptionDrift = err.Error()
+	}
+
+	// Coverage accounting: every expected id exactly once, nothing extra.
+	if merged != nil {
+		have := merged.Completed
+		seen := map[string]bool{}
+		for _, id := range expected {
+			seen[id] = true
+			if _, ok := have[id]; !ok {
+				merr.Missing = append(merr.Missing, id)
+			}
+		}
+		for _, id := range merged.CompletedIDs() {
+			if !seen[id] {
+				merr.Unexpected = append(merr.Unexpected, id)
+			}
+		}
+		rep.Experiments = len(have)
+	}
+
+	if merr.failed() {
+		return nil, rep, merr
+	}
+	return merged, rep, nil
+}
+
+// allShards returns 0..n-1 minus the listed empty shards.
+func allShards(n int, empty []int) []int {
+	skip := map[int]bool{}
+	for _, k := range empty {
+		skip[k] = true
+	}
+	var out []int
+	for k := 0; k < n; k++ {
+		if !skip[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Summary renders the one-line merge outcome.
+func (r *MergeReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "merged %d/%d shard checkpoint(s), %d experiment(s)", r.Loaded, r.Shards, r.Experiments)
+	if len(r.EmptyShards) > 0 {
+		fmt.Fprintf(&b, ", %d shard(s) had no assigned work", len(r.EmptyShards))
+	}
+	if len(r.Recovered) > 0 {
+		fmt.Fprintf(&b, "; recoveries: %s", strings.Join(r.Recovered, "; "))
+	}
+	return b.String()
+}
+
+// Render writes the canonical, timing-free sweep output for ids from ck:
+// every experiment in the given order as "== id — title" followed by its
+// stored output. The same render of a single-process sweep's checkpoint
+// over the same ids is bit-identical — the differential gate the sharded
+// smoke test pins. Wall-clock seconds are deliberately absent: they are the
+// one legitimately nondeterministic field in a checkpoint.
+func Render(w io.Writer, ck *harness.Checkpoint, ids []string) error {
+	for _, id := range ids {
+		e, ok := harness.ExperimentByID(id)
+		if !ok {
+			return fmt.Errorf("shard: render: unknown experiment %s", id)
+		}
+		out, ok := ck.Done(id)
+		if !ok {
+			return fmt.Errorf("shard: render: experiment %s not in checkpoint", id)
+		}
+		if _, err := fmt.Fprintf(w, "== %s — %s\n%s\n", e.ID, e.Title, out.Output); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"localbp/internal/harness"
+)
+
+// mergeFixture lays down N shard checkpoints covering ids, each experiment
+// recorded in the shard the partition assigns it to. Outputs are synthetic
+// but stable functions of the id.
+func mergeFixture(t *testing.T, dir string, ids []string, n int, opts harness.Options) {
+	t.Helper()
+	for k := 0; k < n; k++ {
+		ck := harness.NewCheckpoint(opts)
+		for _, id := range Assigned(ids, k, n) {
+			ck.Record(id, harness.ExperimentOutcome{Output: "output for " + id, Seconds: float64(k)})
+		}
+		if err := ck.Save(CheckpointPath(dir, k, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func someIDs(t *testing.T, n int) []string {
+	t.Helper()
+	var ids []string
+	for _, e := range harness.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	if len(ids) < n {
+		t.Fatalf("suite has only %d experiments", len(ids))
+	}
+	return ids[:n]
+}
+
+// TestMergeHappyPath: a complete partition merges with exact coverage, and
+// the report accounts for every shard.
+func TestMergeHappyPath(t *testing.T) {
+	dir := t.TempDir()
+	ids := someIDs(t, 8)
+	opts := harness.Options{Insts: 1000, Quick: true}
+	mergeFixture(t, dir, ids, 3, opts)
+
+	merged, rep, err := Merge(dir, 3, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiments != len(ids) || rep.Loaded != 3 {
+		t.Fatalf("report = %+v, want %d experiments from 3 shards", rep, len(ids))
+	}
+	for _, id := range ids {
+		out, ok := merged.Done(id)
+		if !ok || out.Output != "output for "+id {
+			t.Fatalf("merged checkpoint missing %s (%+v)", id, out)
+		}
+	}
+	if !merged.Matches(opts) {
+		t.Fatal("merged checkpoint lost the option stamp")
+	}
+}
+
+// TestMergeEmptyShardTolerated: with more shards than ids, a shard with no
+// assigned work may legitimately have no checkpoint.
+func TestMergeEmptyShardTolerated(t *testing.T) {
+	dir := t.TempDir()
+	ids := someIDs(t, 2)
+	opts := harness.Options{Insts: 500, Quick: true}
+	// Lay down checkpoints only for shards that own work.
+	n := 6
+	for k := 0; k < n; k++ {
+		assigned := Assigned(ids, k, n)
+		if len(assigned) == 0 {
+			continue
+		}
+		ck := harness.NewCheckpoint(opts)
+		for _, id := range assigned {
+			ck.Record(id, harness.ExperimentOutcome{Output: "output for " + id})
+		}
+		if err := ck.Save(CheckpointPath(dir, k, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, rep, err := Merge(dir, n, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiments != len(ids) {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.EmptyShards)+rep.Loaded != n {
+		t.Fatalf("shards unaccounted for: %+v", rep)
+	}
+	if _, ok := merged.Done(ids[0]); !ok {
+		t.Fatal("merged checkpoint lost a run")
+	}
+}
+
+// TestMergeMissingShard: a shard with assigned work but no checkpoint trips
+// the gate and names both the shard and the lost runs.
+func TestMergeMissingShard(t *testing.T) {
+	dir := t.TempDir()
+	ids := someIDs(t, 8)
+	opts := harness.Options{Insts: 1000}
+	mergeFixture(t, dir, ids, 3, opts)
+	// Pick a shard that owns work and delete its checkpoint.
+	victim := -1
+	for k := 0; k < 3; k++ {
+		if len(Assigned(ids, k, 3)) > 0 {
+			victim = k
+			break
+		}
+	}
+	if err := os.Remove(CheckpointPath(dir, victim, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err := Merge(dir, 3, ids)
+	var merr *MergeError
+	if !errors.As(err, &merr) {
+		t.Fatalf("merge over missing shard: %v", err)
+	}
+	found := false
+	for _, k := range merr.MissingShards {
+		if k == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gate did not name shard %d: %+v", victim, merr)
+	}
+	if len(merr.Missing) != len(Assigned(ids, victim, 3)) {
+		t.Fatalf("gate missing-run accounting: %+v", merr)
+	}
+}
+
+// TestMergeDuplicateRun: the same id completed in two shards is misplaced in
+// at least one of them — the gate refuses rather than pick a winner.
+func TestMergeDuplicateRun(t *testing.T) {
+	dir := t.TempDir()
+	ids := someIDs(t, 6)
+	opts := harness.Options{Insts: 1000}
+	mergeFixture(t, dir, ids, 2, opts)
+
+	// Re-record shard 0's first id into shard 1's checkpoint too.
+	dup := Assigned(ids, 0, 2)[0]
+	ck, err := harness.LoadCheckpoint(CheckpointPath(dir, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Record(dup, harness.ExperimentOutcome{Output: "impostor"})
+	if err := ck.Save(CheckpointPath(dir, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Merge(dir, 2, ids)
+	var merr *MergeError
+	if !errors.As(err, &merr) {
+		t.Fatalf("merge over duplicate run: %v", err)
+	}
+	if len(merr.Misplaced) == 0 || !strings.Contains(merr.Misplaced[0], dup) {
+		t.Fatalf("gate did not flag the duplicate: %+v", merr)
+	}
+}
+
+// TestMergeCorruptShardQuarantined: a bit-flipped shard checkpoint without a
+// previous generation is quarantined, and the gate reports it as corrupt
+// rather than silently dropping its runs.
+func TestMergeCorruptShardQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	ids := someIDs(t, 8)
+	opts := harness.Options{Insts: 1000}
+	mergeFixture(t, dir, ids, 3, opts)
+
+	victim := -1
+	for k := 0; k < 3; k++ {
+		if len(Assigned(ids, k, 3)) > 0 {
+			victim = k
+			break
+		}
+	}
+	path := CheckpointPath(dir, victim, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Merge(dir, 3, ids)
+	var merr *MergeError
+	if !errors.As(err, &merr) {
+		t.Fatalf("merge over corrupt shard: %v", err)
+	}
+	if len(merr.Corrupt) != 1 || !strings.Contains(merr.Corrupt[0], fmt.Sprintf("shard %d", victim)) {
+		t.Fatalf("gate did not report the corrupt shard: %+v", merr)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("damaged shard checkpoint not quarantined: %v", err)
+	}
+}
+
+// TestMergeOptionDrift: shards swept with different -insts cannot be merged.
+func TestMergeOptionDrift(t *testing.T) {
+	dir := t.TempDir()
+	ids := someIDs(t, 6)
+	mergeFixture(t, dir, ids, 2, harness.Options{Insts: 1000})
+	// Rewrite shard 1 with a different option stamp.
+	ck := harness.NewCheckpoint(harness.Options{Insts: 2000})
+	for _, id := range Assigned(ids, 1, 2) {
+		ck.Record(id, harness.ExperimentOutcome{Output: "output for " + id})
+	}
+	if err := ck.Save(CheckpointPath(dir, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err := Merge(dir, 2, ids)
+	var merr *MergeError
+	if !errors.As(err, &merr) {
+		t.Fatalf("merge over option drift: %v", err)
+	}
+	if merr.OptionDrift == "" || !strings.Contains(merr.OptionDrift, "-insts") {
+		t.Fatalf("gate did not name the drifted option: %+v", merr)
+	}
+}
+
+// TestMergeUnexpectedRun: a completed id outside the expected set is
+// flagged — the merge never launders stray results into the output.
+func TestMergeUnexpectedRun(t *testing.T) {
+	dir := t.TempDir()
+	all := someIDs(t, 8)
+	ids, extra := all[:7], all[7]
+	opts := harness.Options{Insts: 1000}
+	// Build the partition over ids+extra so placement is consistent, then
+	// merge expecting only ids.
+	mergeFixture(t, dir, append(append([]string{}, ids...), extra), 2, opts)
+
+	_, _, err := Merge(dir, 2, ids)
+	var merr *MergeError
+	if !errors.As(err, &merr) {
+		t.Fatalf("merge over unexpected run: %v", err)
+	}
+	if len(merr.Unexpected) != 1 || merr.Unexpected[0] != extra {
+		t.Fatalf("gate did not flag the stray run: %+v", merr)
+	}
+}
+
+// TestRenderCanonical: Render is timing-free and deterministic — two
+// checkpoints holding the same outputs but different Seconds render
+// bit-identically. This is the property the sharded/single-process
+// differential rests on.
+func TestRenderCanonical(t *testing.T) {
+	ids := someIDs(t, 5)
+	opts := harness.Options{Insts: 1000}
+	a := harness.NewCheckpoint(opts)
+	b := harness.NewCheckpoint(opts)
+	for i, id := range ids {
+		a.Record(id, harness.ExperimentOutcome{Output: "body " + id, Seconds: float64(i)})
+		b.Record(id, harness.ExperimentOutcome{Output: "body " + id, Seconds: float64(100 - i)})
+	}
+	var ra, rb bytes.Buffer
+	if err := Render(&ra, a, ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := Render(&rb, b, ids); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ra.Bytes(), rb.Bytes()) {
+		t.Fatalf("render not timing-free:\n%s\nvs\n%s", ra.String(), rb.String())
+	}
+	if !strings.Contains(ra.String(), "== "+ids[0]) {
+		t.Fatalf("render missing header: %s", ra.String())
+	}
+
+	// Rendering an id the checkpoint lacks is an error, not silence.
+	var rc bytes.Buffer
+	if err := Render(&rc, a, []string{"table1", "no-such-id"}); err == nil {
+		t.Fatal("render of unknown id succeeded")
+	}
+}

@@ -1,0 +1,87 @@
+// Package shard turns a sweep into a crash-tolerant distributed
+// computation: the experiment set is partitioned into deterministic shards,
+// a coordinator hands shards to worker processes via durable,
+// heartbeat-renewed leases, and a verified merge folds the per-shard
+// checkpoints back into one result set that is bit-identical to a
+// single-process sweep.
+//
+// The pieces compose but stand alone:
+//
+//   - Partitioning (this file): a stable hash of each run-spec id picks its
+//     shard, so membership is reproducible across restarts, machines and
+//     suite reorderings — any process that knows (id, N) knows the owner.
+//   - Leases (lease.go): per-shard append-only journals in the LBPJRNL1
+//     framing, with epoch fencing so an expired worker can never race its
+//     replacement.
+//   - Coordination (coordinator.go): spawn workers, watch heartbeats,
+//     classify failures through the harness retry taxonomy, reassign
+//     expired shards with jittered backoff.
+//   - Merge (merge.go): the integrity gate — CRC-validated per-shard
+//     checkpoints, duplicate detection, exact coverage accounting — and the
+//     canonical render pinned bit-identical to a single-process sweep.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+)
+
+// Index maps a run-spec id to its shard by stable FNV-1a hash. The mapping
+// depends only on (id, shards): it survives process restarts, differs
+// across no two machines, and is independent of suite ordering — the
+// property the merge gate's duplicate detection relies on.
+func Index(id string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Assigned filters ids down to those owned by shard k of n, preserving
+// input order (paper order in, paper order out).
+func Assigned(ids []string, k, n int) []string {
+	var out []string
+	for _, id := range ids {
+		if Index(id, n) == k {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Partition splits ids into n buckets by Index, preserving input order
+// within each bucket.
+func Partition(ids []string, n int) [][]string {
+	buckets := make([][]string, n)
+	for _, id := range ids {
+		k := Index(id, n)
+		buckets[k] = append(buckets[k], id)
+	}
+	return buckets
+}
+
+// CheckpointPath names shard k-of-n's checkpoint inside dir. The shard
+// count is baked into the name so a sweep resharded to a different N can
+// never silently resume from the old partition's files.
+func CheckpointPath(dir string, k, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d-of-%03d.ckpt", k, n))
+}
+
+// LeasePath names shard k's lease journal inside dir.
+func LeasePath(dir string, k, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d-of-%03d.lease", k, n))
+}
+
+// ParseSpec parses a "k/N" worker shard spec (0-based k, N >= 1).
+func ParseSpec(spec string) (k, n int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d/%d", &k, &n); err != nil {
+		return 0, 0, fmt.Errorf("shard spec %q: want k/N (e.g. 1/4)", spec)
+	}
+	if n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("shard spec %q: need 0 <= k < N", spec)
+	}
+	return k, n, nil
+}

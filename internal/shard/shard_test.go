@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"testing"
+
+	"localbp/internal/harness"
+)
+
+// TestIndexStable pins the partition's contract: deterministic, in-range,
+// total (every id lands somewhere) and exclusive (exactly one shard owns
+// each id). The crash-tolerance story rests on any process being able to
+// recompute ownership from (id, N) alone.
+func TestIndexStable(t *testing.T) {
+	ids := experimentIDs()
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		owned := map[string]int{}
+		for k := 0; k < n; k++ {
+			for _, id := range Assigned(ids, k, n) {
+				if prev, dup := owned[id]; dup {
+					t.Fatalf("n=%d: %s owned by shards %d and %d", n, id, prev, k)
+				}
+				owned[id] = k
+			}
+		}
+		if len(owned) != len(ids) {
+			t.Fatalf("n=%d: %d/%d ids owned", n, len(owned), len(ids))
+		}
+		for id, k := range owned {
+			if Index(id, n) != k {
+				t.Fatalf("n=%d: Index(%s) = %d, Assigned put it in %d", n, id, Index(id, n), k)
+			}
+			if k < 0 || k >= n {
+				t.Fatalf("n=%d: shard %d out of range for %s", n, k, id)
+			}
+		}
+		// Recomputing yields the identical assignment (no hidden state).
+		for id, k := range owned {
+			if again := Index(id, n); again != k {
+				t.Fatalf("n=%d: Index(%s) unstable: %d then %d", n, id, k, again)
+			}
+		}
+	}
+}
+
+// TestPartitionMatchesAssigned: the bucketed and filtered views agree and
+// preserve input order.
+func TestPartitionMatchesAssigned(t *testing.T) {
+	ids := experimentIDs()
+	const n = 4
+	buckets := Partition(ids, n)
+	for k := 0; k < n; k++ {
+		got := Assigned(ids, k, n)
+		if len(got) != len(buckets[k]) {
+			t.Fatalf("shard %d: Assigned %v != Partition %v", k, got, buckets[k])
+		}
+		for i := range got {
+			if got[i] != buckets[k][i] {
+				t.Fatalf("shard %d: order diverged: %v vs %v", k, got, buckets[k])
+			}
+		}
+	}
+}
+
+// TestParseSpec pins the k/N worker flag grammar.
+func TestParseSpec(t *testing.T) {
+	k, n, err := ParseSpec("2/4")
+	if err != nil || k != 2 || n != 4 {
+		t.Fatalf("ParseSpec(2/4) = (%d, %d, %v)", k, n, err)
+	}
+	for _, bad := range []string{"", "x", "4/4", "-1/4", "1/0", "1"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// experimentIDs returns the real experiment id set in paper order.
+func experimentIDs() []string {
+	var ids []string
+	for _, e := range harness.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
