@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race audit bench-json bench-pr5 bench-compare fuzz-smoke daemon-smoke shard-smoke ci stress
+.PHONY: check build vet test race audit bench-json bench-pr5 bench-compare fuzz-smoke daemon-smoke shard-smoke trace-smoke ci stress
 
 # check is the CI gate: static analysis plus the full suite under the race
 # detector (the parallel sweep runner is on by default).
@@ -58,6 +58,7 @@ bench-compare:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoopPredictor -fuzztime=10s ./internal/bpu/loop
 	$(GO) test -fuzz=FuzzTAGE -fuzztime=10s ./internal/bpu/tage
+	$(GO) test -fuzz='FuzzReadTraceLBP2$$' -fuzztime=10s ./internal/trace
 
 # ci is the one-command pipeline: build, static analysis + alloc guards, the
 # full suite under the race detector, a fuzz smoke, and a quick
@@ -77,7 +78,14 @@ daemon-smoke:
 shard-smoke:
 	$(GO) test -run 'TestShardSweepChaosKillBitIdentical|TestShardWorkerLeaseHeld' -count=1 -v ./cmd/lbpsweep
 
-ci: build vet race daemon-smoke shard-smoke fuzz-smoke
+# trace-smoke is the end-to-end trace-pipeline check (< 30 s): build the real
+# lbptrace and lbpsim binaries, generate an LBP2 trace, convert it
+# LBP2 -> LBP1 -> LBP2 (byte-identical round trip), and replay both formats
+# bit-identically to in-process generation.
+trace-smoke:
+	$(GO) test -run TestTraceSmoke -count=1 -v ./cmd/lbptrace
+
+ci: build vet race daemon-smoke shard-smoke trace-smoke fuzz-smoke
 	$(GO) run ./cmd/lbpbench -insts 60000 -out BENCH_ci.json
 	$(GO) run ./cmd/lbpbench -compare -old BENCH_ci.json -new BENCH_ci.json
 	rm -f BENCH_ci.json

@@ -3,7 +3,10 @@
 // file. The baseline records ns/op, ns per simulated instruction, ns per
 // simulated cycle, allocs/op and bytes/op for the obs-disabled and
 // obs-enabled core loop, so later changes can be checked against a pinned
-// performance trajectory (BENCH_baseline.json → BENCH_pr5.json → …).
+// performance trajectory (BENCH_baseline.json → BENCH_pr5.json → …). It also
+// records on-disk decode throughput (decode-lbp1, decode-lbp2,
+// decode-lbp2-mmap): open + drain of the reference trace through the same
+// chunked Source path -trace-file replay uses.
 //
 // Usage:
 //
@@ -21,12 +24,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"localbp"
 	"localbp/internal/service"
+	"localbp/internal/trace"
 )
 
 type entry struct {
@@ -112,6 +117,17 @@ func main() {
 		return e
 	}
 
+	entries := []entry{
+		bench("core-loop"),
+		bench("core-loop-obs",
+			localbp.WithCPIStack(), localbp.WithCounters(), localbp.WithEventTrace(4096)),
+	}
+	decodes, err := decodeEntries(tr)
+	if err != nil {
+		fatal(err)
+	}
+	entries = append(entries, decodes...)
+
 	b := baseline{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -121,11 +137,7 @@ func main() {
 		Scheme:      scheme.Label(),
 		Insts:       len(tr),
 		Cycles:      ref.Cycles,
-		Entries: []entry{
-			bench("core-loop"),
-			bench("core-loop-obs",
-				localbp.WithCPIStack(), localbp.WithCounters(), localbp.WithEventTrace(4096)),
-		},
+		Entries:     entries,
 	}
 
 	// Atomic write: a crash mid-encode cannot corrupt a pinned baseline that
@@ -143,6 +155,107 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "lbpbench:", err)
 	os.Exit(1)
+}
+
+// decodeEntries measures on-disk trace decode throughput: the reference trace
+// is written once per format to a temp directory, then each benchmark op
+// opens the file and drains it through a fixed-size chunk buffer — the exact
+// I/O pattern of -trace-file replay. The mmap entry is skipped silently on
+// platforms without mmap support (it is a new, ungated comparison entry).
+func decodeEntries(tr []trace.Inst) ([]entry, error) {
+	dir, err := os.MkdirTemp("", "lbpbench-decode")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	write := func(name string, enc func(io.Writer, []trace.Inst) error) (string, error) {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return "", err
+		}
+		if err := enc(f, tr); err != nil {
+			f.Close()
+			return "", err
+		}
+		return path, f.Close()
+	}
+	lbp1, err := write("t.lbp", trace.WriteTrace)
+	if err != nil {
+		return nil, err
+	}
+	lbp2, err := write("t.lbp2", trace.WriteTraceLBP2)
+	if err != nil {
+		return nil, err
+	}
+
+	benchDecode := func(name, path string, mode trace.OpenMode) (entry, error) {
+		// Probe once so an unsupported backend (mmap on exotic platforms)
+		// skips the entry instead of failing the whole baseline run.
+		probe, err := trace.OpenSourceMode(path, mode)
+		if err != nil {
+			return entry{}, err
+		}
+		trace.CloseSource(probe)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var chunk [4096]trace.Inst
+			for i := 0; i < b.N; i++ {
+				src, err := trace.OpenSourceMode(path, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total := 0
+				for {
+					n, err := src.Next(chunk[:])
+					total += n
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if total != len(tr) {
+					b.Fatalf("decoded %d insts, want %d", total, len(tr))
+				}
+				trace.CloseSource(src)
+			}
+		})
+		ns := float64(r.NsPerOp())
+		e := entry{
+			Name:        name,
+			NsPerOp:     ns,
+			NsPerInst:   ns / float64(len(tr)),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Printf("%-16s %12.0f ns/op  %6.1f ns/inst  %18s  %6d allocs/op  %9d B/op\n",
+			name, e.NsPerOp, e.NsPerInst, "", e.AllocsPerOp, e.BytesPerOp)
+		return e, nil
+	}
+
+	var out []entry
+	for _, d := range []struct {
+		name, path string
+		mode       trace.OpenMode
+	}{
+		{"decode-lbp1", lbp1, trace.OpenFile},
+		{"decode-lbp2", lbp2, trace.OpenFile},
+		{"decode-lbp2-mmap", lbp2, trace.OpenMmap},
+	} {
+		e, err := benchDecode(d.name, d.path, d.mode)
+		if err != nil {
+			if d.mode == trace.OpenMmap {
+				fmt.Printf("%-16s skipped: %v\n", d.name, err)
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // loadBaseline reads one baseline JSON file.

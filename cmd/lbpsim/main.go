@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lbpsim [-insts N] [-workload name] [-scheme name] [-seed N] [-timeout D]
+//	lbpsim [-insts N] [-workload name | -trace-file file] [-scheme name] [-seed N] [-timeout D]
 //	       [-loop 64|128|256] [-tage 8|9|57]
 //	       [-audit] [-oracle] [-inject kinds] [-inject-seed N] [-inject-every N]
 //	       [-cpistack] [-counters] [-trace-events file] [-trace-chrome file]
@@ -20,6 +20,10 @@
 // the never-mispredicting local predictor). -inject enables deterministic
 // fault injection: a comma-separated kind list or "all" (see
 // internal/faultinject).
+//
+// -trace-file replays a saved trace (lbp1, lbp2 or champsim; see lbptrace
+// -convert) through the streaming ingestion path at fixed memory instead of
+// generating -workload; -insts, when given explicitly, truncates the replay.
 //
 // -cpistack attributes every core cycle to one CPI-stack bucket and prints
 // the breakdown (the attribution is audited: buckets must sum to total
@@ -72,12 +76,35 @@ func main() {
 	traceEvents := flag.String("trace-events", "", "write retained trace events as JSONL to this file")
 	traceChrome := flag.String("trace-chrome", "", "write retained trace events in Chrome trace_event format to this file")
 	traceCap := flag.Int("trace-cap", 65536, "event-tracer ring capacity (retained events)")
+	traceFile := flag.String("trace-file", "", "replay a saved trace file (lbp1, lbp2 or champsim) instead of generating -workload")
 	flag.Parse()
+	instsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "insts" {
+			instsSet = true
+		}
+	})
 
-	w, ok := workloads.ByName(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lbpsim: unknown workload %q\n", *name)
-		os.Exit(service.ExitConfigError)
+	var w workloads.Workload
+	if *traceFile != "" {
+		// File replay: the stream IS the workload; -seed has nothing to
+		// perturb and -oracle needs the whole trace resident.
+		if *seed != 0 {
+			fmt.Fprintln(os.Stderr, "lbpsim: -seed does not apply to -trace-file replay")
+			os.Exit(service.ExitConfigError)
+		}
+		if *oracleOn {
+			fmt.Fprintln(os.Stderr, "lbpsim: -oracle requires an in-process generated trace, not -trace-file")
+			os.Exit(service.ExitConfigError)
+		}
+		w = workloads.FromFile(*traceFile)
+	} else {
+		var ok bool
+		w, ok = workloads.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lbpsim: unknown workload %q\n", *name)
+			os.Exit(service.ExitConfigError)
+		}
 	}
 
 	var lcfg loop.Config
@@ -181,17 +208,36 @@ func main() {
 		}
 	}
 
-	fmt.Printf("workload: %s (%s), %d instructions\n", w.Name, w.Category, *insts)
-	if *seed != 0 {
-		w.Seed = *seed
-	}
-	tr := w.Generate(*insts)
-	if err := trace.Validate(tr); err != nil {
-		fmt.Fprintf(os.Stderr, "lbpsim: generated trace invalid:\n%v\n", err)
-		os.Exit(service.ExitConfigError)
-	}
-	if *oracleOn {
-		ccfg.Golden = audit.NewGolden(tr)
+	var src trace.Source
+	if *traceFile != "" {
+		// -insts limits the replay only when given explicitly; the default
+		// is the whole file.
+		n := 0
+		if instsSet {
+			n = *insts
+		}
+		opened, err := w.Open(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
+			os.Exit(service.ExitConfigError)
+		}
+		defer trace.CloseSource(opened)
+		src = opened
+		fmt.Printf("trace file: %s, %d instructions\n", *traceFile, src.Len())
+	} else {
+		fmt.Printf("workload: %s (%s), %d instructions\n", w.Name, w.Category, *insts)
+		if *seed != 0 {
+			w.Seed = *seed
+		}
+		tr := w.Generate(*insts)
+		if err := trace.Validate(tr); err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsim: generated trace invalid:\n%v\n", err)
+			os.Exit(service.ExitConfigError)
+		}
+		if *oracleOn {
+			ccfg.Golden = audit.NewGolden(tr)
+		}
+		src = trace.NewSliceSource(tr)
 	}
 	unit := bpu.NewUnit(tcfg, scheme)
 	unit.Oracle = def.Oracle
@@ -210,7 +256,11 @@ func main() {
 		defer cancel()
 	}
 
-	c := core.New(ccfg, unit, tr)
+	c, err := core.NewStream(ccfg, unit, src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbpsim: %v\n", err)
+		os.Exit(service.ExitConfigError)
+	}
 	st, err := c.RunContext(ctx)
 	if err != nil {
 		// Shared exit taxonomy (service.ExitCodeForError): cancellation —

@@ -8,6 +8,7 @@
 //	lbpsweep -merge -shards N -lease-dir DIR [-merge-out file] [experiment ids...]
 //	lbpsweep -cpistack [-scheme name] [-insts N] [-quick]
 //	lbpsweep -trace-events file -workload name [-scheme name] [-insts N] [-seed N]
+//	lbpsweep -trace-file file [-scheme name] [-insts N]
 //
 // Without arguments it runs every experiment (table1 … fig14b, ext*) in
 // paper order; results for configurations shared between experiments are
@@ -128,8 +129,15 @@ func run() int {
 	seed := flag.Int64("seed", 0, "override the workload's trace-generation seed for -trace-events (0 = workload default)")
 	cpistack := flag.Bool("cpistack", false, "print the per-category CPI-stack table instead of running experiments")
 	traceEvents := flag.String("trace-events", "", "write one run's structured events as JSONL to this file (requires -workload)")
+	traceFile := flag.String("trace-file", "", "replay this saved trace file (lbp1, lbp2 or champsim) under -scheme and print the result")
 	pprofDir := flag.String("pprof", "", "write cpu.pprof, heap.pprof and a runtime-metrics dump to this directory")
 	flag.Parse()
+	instsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "insts" {
+			instsSet = true
+		}
+	})
 
 	if *list {
 		for _, e := range harness.Experiments() {
@@ -215,6 +223,21 @@ func run() int {
 		return 0
 	}
 
+	if *traceFile != "" {
+		n := 0
+		if instsSet {
+			n = *insts
+		}
+		if err := replayTraceFile(ctx, *traceFile, *schemeName, n); err != nil {
+			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
+			if ctx.Err() != nil {
+				return int(service.SweepInterrupted)
+			}
+			return int(service.SweepConfigError)
+		}
+		return 0
+	}
+
 	if *traceEvents != "" {
 		if err := traceOneRun(ctx, opts, *workload, *schemeName, *seed, *traceEvents); err != nil {
 			fmt.Fprintf(os.Stderr, "lbpsweep: %v\n", err)
@@ -255,6 +278,28 @@ func run() int {
 			*checkpoint)
 	}
 	return int(status)
+}
+
+// replayTraceFile streams one saved trace file through the simulator under
+// one scheme and prints the result line; n > 0 truncates the replay. The
+// whole path is fixed-memory: the file is never loaded as a slice.
+func replayTraceFile(ctx context.Context, path, schemeName string, n int) error {
+	spec, err := harness.SpecFor(schemeName)
+	if err != nil {
+		return err
+	}
+	src, err := workloads.FromFile(path).Open(n)
+	if err != nil {
+		return err
+	}
+	defer trace.CloseSource(src)
+	st, _, err := harness.RunSourceContext(ctx, src, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s × %s: %d insts, %d cycles, IPC %.3f, MPKI %.3f\n",
+		filepath.Base(path), schemeName, st.Insts, st.Cycles, st.IPC(), st.MPKI())
+	return nil
 }
 
 // traceOneRun simulates one workload under one scheme with the event tracer

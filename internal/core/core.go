@@ -97,8 +97,19 @@ type Core struct {
 	mem  *mem.Hierarchy
 	btb  *btb.BTB
 
-	prog []trace.Inst
-	pos  int // next real-path instruction to fetch
+	// Instruction stream. With a resident program (New), prog holds the
+	// whole trace, base is 0 and total == len(prog). With a streaming
+	// source (NewStream), prog is a sliding window: it holds stream
+	// indices [base, base+len(prog)), retaining streamWindow entries
+	// behind pos so mispredict/resteer rewinds (bounded by the in-flight
+	// population: ROBSize + AllocQueue) always land inside the buffer.
+	prog         []trace.Inst
+	pos          int // next real-path instruction to fetch (stream index)
+	base         int // stream index of prog[0]
+	total        int // total stream length
+	src          trace.Source
+	streamWindow int
+	srcErr       error
 
 	// ROB as a ring with absolute head/tail indices.
 	rob     []robEntry
@@ -180,6 +191,7 @@ func New(cfg Config, unit *bpu.Unit, prog []trace.Inst) *Core {
 		unit:        unit,
 		mem:         mem.New(cfg.Mem),
 		prog:        prog,
+		total:       len(prog),
 		rob:         make([]robEntry, cfg.ROBSize),
 		fetchQ:      make([]fetchSlot, cfg.AllocQueue),
 		resolutions: newCalQueue(),
@@ -301,7 +313,7 @@ func (c *Core) RunContext(ctx context.Context) (Stats, error) {
 	var iter uint64
 	budget := c.cfg.MaxCycles
 	if budget == 0 {
-		budget = cycleBudget(len(c.prog))
+		budget = cycleBudget(c.total)
 	}
 	deadman := c.cfg.StallCycles
 	if deadman == 0 {
@@ -315,7 +327,7 @@ func (c *Core) RunContext(ctx context.Context) (Stats, error) {
 	// bit-identical to the cycle-by-cycle run (see fastforward.go). The
 	// auditor's periodic scans are cycle-driven, so auditing disables it.
 	ff := c.cfg.Audit == nil && !c.cfg.DisableFastForward
-	for c.pos < len(c.prog) || c.robLen() > 0 || c.fqCount > 0 {
+	for c.pos < c.total || c.robLen() > 0 || c.fqCount > 0 {
 		if iter&cancelCheckMask == 0 {
 			if done != nil {
 				if err := ctx.Err(); err != nil {
@@ -362,6 +374,12 @@ func (c *Core) RunContext(ctx context.Context) (Stats, error) {
 			c.stats.Cycles = c.cycle
 			return c.stats, c.integrity
 		}
+		if c.srcErr != nil {
+			// A streaming refill failed (I/O error, CRC mismatch, short
+			// stream); the run cannot complete faithfully.
+			c.stats.Cycles = c.cycle
+			return c.stats, &SourceError{Cycle: c.cycle, Pos: c.pos, Cause: c.srcErr}
+		}
 		c.cycle++
 		if !c.warmDone && c.cfg.WarmupInsts > 0 && c.stats.Insts >= c.cfg.WarmupInsts {
 			c.warmDone = true
@@ -382,7 +400,7 @@ func (c *Core) RunContext(ctx context.Context) (Stats, error) {
 		if c.cycle >= budget {
 			c.stats.Cycles = c.cycle
 			return c.stats, &StallError{
-				Reason: fmt.Sprintf("cycle budget: exceeded %d cycles for %d instructions", budget, len(c.prog)),
+				Reason: fmt.Sprintf("cycle budget: exceeded %d cycles for %d instructions", budget, c.total),
 				Cycle:  c.cycle,
 				Dump:   c.dumpState(),
 			}
@@ -797,10 +815,13 @@ func (c *Core) stepFetch() {
 			streamPos = -1
 			c.stats.WrongPathInsts++
 		} else {
-			if c.pos >= len(c.prog) {
+			if c.pos >= c.total {
 				return
 			}
-			in = c.prog[c.pos]
+			if c.pos-c.base >= len(c.prog) && !c.refill() {
+				return // srcErr is set; RunContext aborts at cycle end
+			}
+			in = c.prog[c.pos-c.base]
 			streamPos = c.pos
 			c.pos++
 			c.noteRecent(in)

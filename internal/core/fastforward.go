@@ -47,7 +47,7 @@ func (c *Core) idleUntil(limit int64) int64 {
 		if c.diverged {
 			hasWork = c.cfg.WrongPath && c.wrongLeft > 0
 		} else {
-			hasWork = c.pos < len(c.prog)
+			hasWork = c.pos < c.total
 		}
 		if hasWork {
 			if cycle >= c.fetchHoldTo {

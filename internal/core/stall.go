@@ -32,7 +32,7 @@ func (e *StallError) Unwrap() error { return ErrStalled }
 func (c *Core) dumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "  program:     pos=%d/%d (diverged=%v, wrongLeft=%d)\n",
-		c.pos, len(c.prog), c.diverged, c.wrongLeft)
+		c.pos, c.total, c.diverged, c.wrongLeft)
 	fmt.Fprintf(&b, "  fetch:       queue=%d/%d, holdTo=%d (cycle=%d)\n",
 		c.fqCount, len(c.fetchQ), c.fetchHoldTo, c.cycle)
 	fmt.Fprintf(&b, "  rob:         %d/%d entries (head=%d tail=%d)\n",

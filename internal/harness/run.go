@@ -205,6 +205,18 @@ func RunTraceChecked(tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, err
 // core.ErrCanceled. The context checks are read-only — a run that completes
 // is bit-identical to RunTraceChecked.
 func RunTraceContext(ctx context.Context, tr []trace.Inst, spec Spec) (core.Stats, *repair.Stats, error) {
+	return RunSourceContext(ctx, trace.NewSliceSource(tr), spec)
+}
+
+// RunSourceContext is RunTraceContext over a streaming trace.Source: an
+// in-memory source takes the resident-program path bit-identically, while a
+// file or mmap source replays through the core's sliding window at fixed
+// memory. The golden oracle needs the whole trace resident, so spec.Golden on
+// a true streaming source is an error; the LBP_AUDIT=1 force keeps the
+// auditor and skips only the oracle for such sources. The caller retains
+// ownership of src (closing, single-consumer discipline).
+func RunSourceContext(ctx context.Context, src trace.Source, spec Spec) (core.Stats, *repair.Stats, error) {
+	goldenExplicit := spec.Golden
 	if forceAudit() && spec.Inject == nil {
 		spec.Audit, spec.Golden = true, true
 	}
@@ -250,14 +262,24 @@ func RunTraceContext(ctx context.Context, tr []trace.Inst, spec Spec) (core.Stat
 	if spec.Golden && cfg.Golden == nil {
 		// A caller-provided golden model (spec.Core.Golden) wins: tests use
 		// it to feed the oracle a deliberately divergent program.
-		cfg.Golden = audit.NewGolden(tr)
+		if tr, ok := trace.SourceSlice(src); ok {
+			cfg.Golden = audit.NewGolden(tr)
+		} else if goldenExplicit {
+			return core.Stats{}, nil, errors.New(
+				"harness: the golden oracle needs the whole trace in memory; streaming sources support Audit only")
+		}
+		// Forced (LBP_AUDIT=1) golden on a streaming source: keep the
+		// auditor, skip the oracle.
 	}
 	unit := bpu.NewUnit(spec.Tage, scheme)
 	unit.Oracle = spec.Oracle
 	if inj != nil {
 		inj.AttachTAGE(unit.Tage)
 	}
-	c := core.New(cfg, unit, tr)
+	c, err := core.NewStream(cfg, unit, src)
+	if err != nil {
+		return core.Stats{}, nil, err
+	}
 	st, err := c.RunContext(ctx)
 	if err != nil {
 		return st, nil, err
@@ -369,10 +391,31 @@ func RunSuite(ctx context.Context, o Options, spec Spec, cache *TraceCache) ([]m
 	return out, errors.Join(errs...)
 }
 
-// traceKey identifies one generated trace: workload × instruction count.
+// traceKey identifies one cached trace. Generated workloads key by
+// workload × instruction count; file-backed workloads additionally key by
+// (path, mtime, size), so a trace file regenerated on disk is re-read
+// instead of served stale.
 type traceKey struct {
 	name  string
 	insts int
+	path  string
+	mtime int64 // file modification time, UnixNano (0 for generated)
+	size  int64 // file size in bytes (0 for generated)
+}
+
+// keyFor builds the cache key, statting file-backed workloads.
+func keyFor(w workloads.Workload, n int) (traceKey, error) {
+	k := traceKey{name: w.Name, insts: n}
+	if w.TraceFile != "" {
+		st, err := os.Stat(w.TraceFile)
+		if err != nil {
+			return k, fmt.Errorf("harness: stat trace file: %w", err)
+		}
+		k.path = w.TraceFile
+		k.mtime = st.ModTime().UnixNano()
+		k.size = st.Size()
+	}
+	return k, nil
 }
 
 // traceEntry is one cache slot; once ensures a trace is generated exactly
@@ -413,12 +456,17 @@ func (tc *TraceCache) takeSpare() []trace.Inst {
 	return nil
 }
 
-// Get returns the trace for w at n instructions, generating and validating
-// it on first use. Generation decodes into a recycled buffer when one is
-// available (see Release). Concurrent callers for the same key share one
-// generation; different keys generate in parallel.
+// Get returns the trace for w at n instructions, generating (or, for
+// file-backed workloads, reading and validating the file) on first use.
+// Generation decodes into a recycled buffer when one is available (see
+// Release). Concurrent callers for the same key share one generation;
+// different keys generate in parallel. A file-backed workload's key includes
+// the file's (path, mtime, size), so a regenerated file is re-read.
 func (tc *TraceCache) Get(w workloads.Workload, n int) ([]trace.Inst, error) {
-	k := traceKey{name: w.Name, insts: n}
+	k, err := keyFor(w, n)
+	if err != nil {
+		return nil, err
+	}
 	tc.mu.Lock()
 	e, ok := tc.entries[k]
 	if !ok {
@@ -427,6 +475,10 @@ func (tc *TraceCache) Get(w workloads.Workload, n int) ([]trace.Inst, error) {
 	}
 	tc.mu.Unlock()
 	e.once.Do(func() {
+		if w.TraceFile != "" {
+			e.tr, e.err = readFileTrace(w, n)
+			return
+		}
 		if n <= 0 {
 			e.err = fmt.Errorf("trace length: got %d instructions, want > 0", n)
 			return
@@ -441,12 +493,50 @@ func (tc *TraceCache) Get(w workloads.Workload, n int) ([]trace.Inst, error) {
 	return e.tr, e.err
 }
 
+// readFileTrace materializes a file-backed workload's stream (capped at n
+// when n > 0) and validates it.
+func readFileTrace(w workloads.Workload, n int) ([]trace.Inst, error) {
+	src, err := w.Open(n)
+	if err != nil {
+		return nil, err
+	}
+	defer trace.CloseSource(src)
+	tr, err := trace.ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := trace.Validate(tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// GetSource returns a streaming source for w at n instructions. Sources are
+// stateful and single-consumer, so every call hands out a fresh one:
+// generated workloads serve a zero-copy SliceSource over the cached trace,
+// file-backed workloads open the file anew (fixed-memory replay; the key
+// discipline of Get does not apply because nothing is cached). Close
+// file-backed sources with trace.CloseSource.
+func (tc *TraceCache) GetSource(w workloads.Workload, n int) (trace.Source, error) {
+	if w.TraceFile != "" {
+		return w.Open(n)
+	}
+	tr, err := tc.Get(w, n)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewSliceSource(tr), nil
+}
+
 // Release evicts the cached trace for w at n instructions and parks its
 // buffer for reuse by a later generation. Only call it when no simulation
 // still holds the slice returned by Get — the next Get for any workload may
 // overwrite its contents in place.
 func (tc *TraceCache) Release(w workloads.Workload, n int) {
-	k := traceKey{name: w.Name, insts: n}
+	k, err := keyFor(w, n)
+	if err != nil {
+		return // the file vanished; nothing cached under its current stamp
+	}
 	tc.mu.Lock()
 	e, ok := tc.entries[k]
 	if ok {

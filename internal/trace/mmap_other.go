@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package trace
+
+import "os"
+
+// mmapFile on platforms without a wired mmap path: OpenAuto falls back to
+// positioned file reads, OpenMmap surfaces the error.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnsupported
+}

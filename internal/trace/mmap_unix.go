@@ -1,0 +1,25 @@
+//go:build linux || darwin
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only and returns the data plus an unmap function.
+// Empty files cannot be mapped (and carry no records anyway).
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("trace: cannot map %d-byte file", size)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("trace: file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"fmt"
+
+	"localbp/internal/trace"
+)
+
+// Stressor workloads after the Firestorm/Oryon branch-predictor dissection
+// (arXiv 2411.13900): where the Table-1 suite samples realistic mixtures,
+// each stressor isolates one predictor mechanism and sweeps it through a
+// ladder, so sweep output reads as a response curve — the loop-exit distance
+// at which global history stops capturing exits, the pattern length at which
+// each history budget cliffs, the hot-branch population at which the
+// BHT/PT's 128 entries start thrashing.
+
+// StressKind selects the stressor family.
+type StressKind uint8
+
+// The three stressor families.
+const (
+	// StressLoopExit builds loops with a fixed trip count of Param: exits
+	// are perfectly periodic at distance Param, predictable by TAGE only
+	// while Param fits its history, and by a loop predictor at any Param.
+	StressLoopExit StressKind = iota
+	// StressHistoryCliff builds if-then-else sites taken every Param-th
+	// visit with zero noise: a pure history-length probe.
+	StressHistoryCliff
+	// StressAliasing builds Param short fixed-period loops: a hot-branch
+	// population sweep against local-predictor capacity.
+	StressAliasing
+)
+
+// String names the stressor family.
+func (k StressKind) String() string {
+	switch k {
+	case StressLoopExit:
+		return "loopexit"
+	case StressHistoryCliff:
+		return "histcliff"
+	case StressAliasing:
+		return "aliasing"
+	default:
+		return fmt.Sprintf("stress(%d)", uint8(k))
+	}
+}
+
+// StressSpec parameterizes one stressor workload: a family and its ladder
+// rung (trip count, pattern period, or loop population).
+type StressSpec struct {
+	Kind  StressKind
+	Param int
+}
+
+// Ladder rungs. Trip counts and pattern periods sweep across every plausible
+// history length (TAGE's longest table reaches a few hundred bits); the
+// aliasing populations bracket the paper's 128-entry BHT/PT from comfortable
+// fit to 8x overcommit.
+var (
+	loopExitTrips       = []int{2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384}
+	historyCliffPeriods = []int{4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+	aliasingPops        = []int{32, 64, 96, 128, 192, 256, 384, 512, 768, 1024}
+)
+
+// BuildStressProgram constructs the stressor program for a spec. Like
+// BuildProgram it is deterministic in the seed; filler-block lengths draw
+// from the seeded RNG while the swept parameter is exact.
+func BuildStressProgram(s StressSpec, seed int64) trace.Program {
+	r := trace.NewRNG(seed)
+	var regions []trace.Region
+	site := 0
+	nextSite := func() int { n := site; site++; return n }
+
+	switch s.Kind {
+	case StressLoopExit:
+		// Enough distinct loops that one mispredicted exit cannot be
+		// amortized by a single warm branch, few enough that the BHT holds
+		// them all: the sweep isolates exit distance, not capacity.
+		for i := 0; i < 24; i++ {
+			body := []trace.Region{trace.Block{Site: nextSite(), Len: r.Range(3, 8)}}
+			regions = append(regions,
+				trace.Loop{Site: nextSite(), Periods: trace.FixedPeriod(s.Param), Body: body},
+				trace.Block{Site: nextSite(), Len: r.Range(2, 6)})
+		}
+	case StressHistoryCliff:
+		for i := 0; i < 16; i++ {
+			regions = append(regions,
+				trace.Cond{
+					Site:    nextSite(),
+					Outcome: &trace.PeriodicPattern{Period: s.Param},
+					ThenLen: r.Range(2, 8),
+					ElseLen: r.Range(0, 4),
+				},
+				trace.Block{Site: nextSite(), Len: r.Range(3, 8)})
+		}
+	case StressAliasing:
+		for i := 0; i < s.Param; i++ {
+			body := []trace.Region{trace.Block{Site: nextSite(), Len: r.Range(2, 4)}}
+			regions = append(regions,
+				trace.Loop{Site: nextSite(), Periods: trace.FixedPeriod(r.Range(4, 16)), Body: body})
+		}
+	default:
+		panic(fmt.Sprintf("workloads: unknown stress kind %d", s.Kind))
+	}
+	return trace.Program{
+		Regions:      regions,
+		MemProfile:   trace.DefaultMemProfile(),
+		DepDist:      4,
+		Independence: 0.90,
+	}
+}
+
+// StressSuite returns the stressor ladder workloads (37 entries). They are
+// deliberately not part of Suite(): the Table-1 suite and its golden pins
+// stay untouched, and callers opt into the stressors by name or by iterating
+// this list.
+func StressSuite() []Workload {
+	var out []Workload
+	add := func(kind StressKind, cat Category, params []int) {
+		for _, p := range params {
+			out = append(out, Workload{
+				Name:     fmt.Sprintf("stress-%s-%04d", kind, p),
+				Category: cat,
+				Seed:     9_000_000 + int64(kind)*1000 + int64(p),
+				Stress:   &StressSpec{Kind: kind, Param: p},
+			})
+		}
+	}
+	add(StressLoopExit, LoopExit, loopExitTrips)
+	add(StressHistoryCliff, HistoryCliff, historyCliffPeriods)
+	add(StressAliasing, Aliasing, aliasingPops)
+	return out
+}
+
+// StressSuiteSize is the stressor workload count.
+var StressSuiteSize = len(loopExitTrips) + len(historyCliffPeriods) + len(aliasingPops)

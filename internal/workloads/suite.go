@@ -251,9 +251,15 @@ func QuickSuite() []Workload {
 	return out
 }
 
-// ByName returns the workload with the given name, or false.
+// ByName returns the workload with the given name, searching the Table-1
+// suite and then the stressor suite, or false.
 func ByName(name string) (Workload, bool) {
 	for _, w := range Suite() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	for _, w := range StressSuite() {
 		if w.Name == name {
 			return w, true
 		}

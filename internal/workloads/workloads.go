@@ -12,6 +12,7 @@ package workloads
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"localbp/internal/trace"
 )
@@ -31,6 +32,24 @@ const (
 	NumCategories
 )
 
+// Stressor and external categories (beyond Table 1; see StressSuite). They
+// sit after NumCategories on purpose: Categories() and every per-category
+// aggregation over the paper's suite stay the seven Table-1 entries.
+const (
+	// LoopExit is the loop-exit-distance ladder: fixed trip counts swept
+	// from trivially short to far past any global-history window, after the
+	// Firestorm/Oryon loop-exit microbenchmarks (arXiv 2411.13900).
+	LoopExit Category = NumCategories + 1 + iota
+	// HistoryCliff sweeps periodic if-then-else pattern lengths to locate
+	// each predictor's effective history-length cliff.
+	HistoryCliff
+	// Aliasing sweeps the hot loop-branch population past the BHT/PT
+	// capacity to expose aliasing and replacement behavior.
+	Aliasing
+	// External marks file-backed workloads replayed from on-disk traces.
+	External
+)
+
 // String returns the category label used in the paper's figures.
 func (c Category) String() string {
 	switch c {
@@ -48,6 +67,14 @@ func (c Category) String() string {
 		return "BP"
 	case Personal:
 		return "Personal"
+	case LoopExit:
+		return "LoopExit"
+	case HistoryCliff:
+		return "HistoryCliff"
+	case Aliasing:
+		return "Aliasing"
+	case External:
+		return "External"
 	default:
 		return fmt.Sprintf("Category(%d)", uint8(c))
 	}
@@ -86,16 +113,31 @@ type Profile struct {
 	Mem                trace.MemProfile
 }
 
-// Workload is one entry of the evaluation suite.
+// Workload is one entry of the evaluation suite. Exactly one stream shape
+// applies: profile-generated (the default), stressor-generated (Stress set),
+// or file-backed replay (TraceFile set).
 type Workload struct {
 	Name     string
 	Category Category
 	Seed     int64
 	Profile  Profile
+
+	// Stress selects a stressor program instead of the Profile builder
+	// (loop-exit ladders, history cliffs, aliasing populations).
+	Stress *StressSpec
+	// TraceFile replays an on-disk trace (LBP1/LBP2/ChampSim) instead of
+	// generating; Seed and Profile are unused.
+	TraceFile string
+}
+
+// FromFile wraps an on-disk trace as a file-backed workload.
+func FromFile(path string) Workload {
+	return Workload{Name: filepath.Base(path), Category: External, TraceFile: path}
 }
 
 // Generate builds the workload's dynamic instruction stream of n
-// instructions. Generation is deterministic in the workload seed.
+// instructions. Generation is deterministic in the workload seed; a
+// file-backed workload panics (its stream comes from disk — use Open).
 func (w Workload) Generate(n int) []trace.Inst {
 	return w.GenerateInto(nil, n)
 }
@@ -104,8 +146,40 @@ func (w Workload) Generate(n int) []trace.Inst {
 // trace.GenerateInto): recycling one flat chunk across workloads avoids a
 // per-trace allocation. The stream is bit-identical to Generate's.
 func (w Workload) GenerateInto(dst []trace.Inst, n int) []trace.Inst {
-	prog := BuildProgram(w.Profile, w.Seed)
+	if w.TraceFile != "" {
+		panic(fmt.Sprintf("workloads: %s is file-backed; use Open, not Generate", w.Name))
+	}
+	prog := w.buildProgram()
 	return trace.GenerateInto(dst, prog, n, w.Seed^0x5bd1e995)
+}
+
+// buildProgram picks the stressor or profile builder.
+func (w Workload) buildProgram() trace.Program {
+	if w.Stress != nil {
+		return BuildStressProgram(*w.Stress, w.Seed)
+	}
+	return BuildProgram(w.Profile, w.Seed)
+}
+
+// Open returns a streaming source of the workload's first n instructions
+// (n <= 0 means the whole stream for file-backed workloads; generated
+// workloads require n > 0). File-backed sources hold an open file — release
+// with trace.CloseSource.
+func (w Workload) Open(n int) (trace.Source, error) {
+	if w.TraceFile != "" {
+		src, err := trace.OpenSource(w.TraceFile)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			src = trace.Limit(src, n)
+		}
+		return src, nil
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workloads: %s is generated; Open needs an instruction count", w.Name)
+	}
+	return trace.NewSliceSource(w.Generate(n)), nil
 }
 
 // SiteKind classifies a branch site for analysis tooling.

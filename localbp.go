@@ -214,7 +214,21 @@ const (
 	EvPrefetchHit  = obs.EvPrefetchHit
 )
 
-// Option tunes one Simulate/SimulateTrace run.
+// Source is the canonical streaming trace contract (see trace.Source):
+// FromSource consumes one, OpenTrace builds one from an on-disk LBP1/LBP2/
+// ChampSim file, and trace.NewSliceSource wraps an in-memory stream.
+type Source = trace.Source
+
+// OpenTrace opens an on-disk trace (LBP1, LBP2 or .champsim/.cst external
+// format, sniffed automatically; LBP2 is memory-mapped when the platform
+// supports it) as a streaming Source. Release it with CloseTrace.
+func OpenTrace(path string) (Source, error) { return trace.OpenSource(path) }
+
+// CloseTrace releases a source's open file or mapping; sources without
+// resources are a no-op.
+func CloseTrace(src Source) error { return trace.CloseSource(src) }
+
+// Option tunes one Simulate/FromSource run.
 type Option func(*simConfig)
 
 type simConfig struct {
@@ -230,6 +244,7 @@ type simConfig struct {
 	observer  func(Event)
 	progress  func(uint64)
 	maxCycles int64
+	traceFile string
 }
 
 // WithContext runs the simulation under ctx: cancellation or a deadline
@@ -300,6 +315,16 @@ func WithProgress(fn func(retired uint64)) Option {
 	return func(c *simConfig) { c.progress = fn }
 }
 
+// WithTraceFile replays an on-disk trace (LBP1/LBP2/ChampSim) instead of
+// generating the workload's stream: Simulate streams the file at fixed
+// memory, capped at n instructions when n > 0 (n <= 0 replays the whole
+// file). The workload's name is kept for labeling; its seed and profile are
+// unused. WithSeed and WithGolden do not compose with a streamed file (the
+// golden oracle needs the whole trace resident).
+func WithTraceFile(path string) Option {
+	return func(c *simConfig) { c.traceFile = path }
+}
+
 // Result summarizes one simulation.
 type Result struct {
 	Scheme      string
@@ -335,35 +360,67 @@ func Workloads() []WorkloadInfo { return workloads.Suite() }
 func QuickWorkloads() []WorkloadInfo { return workloads.QuickSuite() }
 
 // Simulate runs one workload for n instructions on the Table 2 core under
-// the given scheme.
+// the given scheme. With WithTraceFile the stream is replayed from disk at
+// fixed memory instead of generated (and n <= 0 means the whole file).
 func Simulate(w WorkloadInfo, n int, s Scheme, opts ...Option) (Result, error) {
-	if n <= 0 {
-		return Result{}, fmt.Errorf("localbp: instruction count %d, want > 0", n)
-	}
 	var sc simConfig
 	for _, o := range opts {
 		if o != nil {
 			o(&sc)
 		}
+	}
+	if sc.traceFile != "" {
+		w.TraceFile = sc.traceFile
+	}
+	if w.TraceFile != "" {
+		if sc.seedSet {
+			return Result{}, errors.New("localbp: WithSeed does not apply to a file-replayed trace")
+		}
+		src, err := w.Open(n)
+		if err != nil {
+			return Result{}, fmt.Errorf("localbp: %w", err)
+		}
+		defer trace.CloseSource(src)
+		return simulate(src, s, sc)
+	}
+	if n <= 0 {
+		return Result{}, fmt.Errorf("localbp: instruction count %d, want > 0", n)
 	}
 	if sc.seedSet {
 		w.Seed = sc.seed
 	}
-	return simulate(w.Generate(n), s, sc)
+	return simulate(trace.NewSliceSource(w.Generate(n)), s, sc)
 }
 
-// SimulateTrace runs a prepared instruction stream under the given scheme.
-func SimulateTrace(tr []trace.Inst, s Scheme, opts ...Option) (Result, error) {
+// FromSource runs a prepared streaming source under the given scheme: the
+// canonical trace entry point. An in-memory source (trace.NewSliceSource)
+// takes the resident-program path bit-identically; a file or mmap source
+// (OpenTrace) replays at fixed memory. The caller retains ownership of src —
+// sources are stateful and single-consumer, so open a fresh one per run and
+// release file-backed sources with CloseTrace.
+func FromSource(src Source, s Scheme, opts ...Option) (Result, error) {
+	if src == nil {
+		return Result{}, errors.New("localbp: nil source")
+	}
 	var sc simConfig
 	for _, o := range opts {
 		if o != nil {
 			o(&sc)
 		}
 	}
-	return simulate(tr, s, sc)
+	return simulate(src, s, sc)
 }
 
-func simulate(tr []trace.Inst, s Scheme, sc simConfig) (Result, error) {
+// SimulateTrace runs a prepared in-memory instruction stream.
+//
+// Deprecated: use FromSource with trace.NewSliceSource(tr) — or OpenTrace for
+// an on-disk trace. SimulateTrace remains as a thin shim and is bit-identical
+// to the FromSource path.
+func SimulateTrace(tr []trace.Inst, s Scheme, opts ...Option) (Result, error) {
+	return FromSource(trace.NewSliceSource(tr), s, opts...)
+}
+
+func simulate(src Source, s Scheme, sc simConfig) (Result, error) {
 	if s == nil {
 		return Result{}, errors.New("localbp: nil scheme")
 	}
@@ -416,12 +473,20 @@ func simulate(tr []trace.Inst, s Scheme, sc simConfig) (Result, error) {
 		}
 	}
 	if sc.golden {
+		tr, ok := trace.SourceSlice(src)
+		if !ok {
+			return Result{}, errors.New(
+				"localbp: WithGolden needs the whole trace in memory; drop it or use an in-memory source")
+		}
 		ccfg.Golden = audit.NewGolden(tr)
 	}
 
 	unit := bpu.NewUnit(tage.KB8(), scheme)
 	unit.Oracle = def.Oracle
-	c := core.New(ccfg, unit, tr)
+	c, err := core.NewStream(ccfg, unit, src)
+	if err != nil {
+		return Result{}, err
+	}
 	ctx := sc.ctx
 	if ctx == nil {
 		ctx = context.Background()
