@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race audit bench-json bench-pr5 bench-compare fuzz-smoke daemon-smoke shard-smoke trace-smoke ci stress
+.PHONY: check build vet test race audit bench-json bench-pr5 bench-pr10 bench-smoke bench-compare fuzz-smoke daemon-smoke shard-smoke trace-smoke ci stress
 
 # check is the CI gate: static analysis plus the full suite under the race
 # detector (the parallel sweep runner is on by default).
@@ -46,10 +46,24 @@ bench-json:
 bench-pr5:
 	$(GO) run ./cmd/lbpbench -out BENCH_pr5.json
 
+# bench-pr10 snapshots the current tree's numbers as the PR-10 point of the
+# performance trajectory (compare against BENCH_pr5.json).
+bench-pr10:
+	$(GO) run ./cmd/lbpbench -out BENCH_pr10.json
+
+# bench-smoke is the fast benchmark-path sanity gate (< 10 s): one in-memory
+# core-loop run and one LBP2 file-backed core-loop-stream run of the same
+# short trace must succeed, agree exactly (the two paths are bit-identical by
+# contract), and stay within the allocation budget. It gates "the benchmark
+# paths still work", not performance.
+bench-smoke:
+	$(GO) run ./cmd/lbpbench -smoke -insts 30000
+
 # bench-compare gates the trajectory: exits non-zero when NEW regressed
-# ns/op or allocs/op against OLD by more than 10%.
-OLD ?= BENCH_baseline.json
-NEW ?= BENCH_pr5.json
+# ns/op or allocs/op against OLD by more than 10% (a toolchain mismatch
+# between the two files warns but does not fail).
+OLD ?= BENCH_pr5.json
+NEW ?= BENCH_pr10.json
 bench-compare:
 	$(GO) run ./cmd/lbpbench -compare -old $(OLD) -new $(NEW)
 
@@ -85,7 +99,7 @@ shard-smoke:
 trace-smoke:
 	$(GO) test -run TestTraceSmoke -count=1 -v ./cmd/lbptrace
 
-ci: build vet race daemon-smoke shard-smoke trace-smoke fuzz-smoke
+ci: build vet race bench-smoke daemon-smoke shard-smoke trace-smoke fuzz-smoke
 	$(GO) run ./cmd/lbpbench -insts 60000 -out BENCH_ci.json
 	$(GO) run ./cmd/lbpbench -compare -old BENCH_ci.json -new BENCH_ci.json
 	rm -f BENCH_ci.json

@@ -1,21 +1,28 @@
 // Command lbpbench measures end-to-end simulator throughput with
 // testing.Benchmark and writes a machine-readable, timestamped baseline
 // file. The baseline records ns/op, ns per simulated instruction, ns per
-// simulated cycle, allocs/op and bytes/op for the obs-disabled and
-// obs-enabled core loop, so later changes can be checked against a pinned
-// performance trajectory (BENCH_baseline.json → BENCH_pr5.json → …). It also
-// records on-disk decode throughput (decode-lbp1, decode-lbp2,
-// decode-lbp2-mmap): open + drain of the reference trace through the same
-// chunked Source path -trace-file replay uses.
+// simulated cycle, allocs/op and bytes/op for the obs-disabled core loop,
+// the obs-enabled core loop and the LBP2 file-backed streaming replay
+// (core-loop-stream), so later changes can be checked against a pinned
+// performance trajectory (BENCH_baseline.json → BENCH_pr5.json →
+// BENCH_pr10.json → …). It also records on-disk decode throughput
+// (decode-lbp1, decode-lbp2, decode-lbp2-mmap): open + drain of the
+// reference trace through the same chunked Source path -trace-file replay
+// uses.
 //
 // Usage:
 //
-//	lbpbench [-out BENCH_pr5.json] [-insts N] [-workload NAME] [-scheme NAME]
-//	lbpbench -compare -old BENCH_baseline.json -new BENCH_pr5.json [-max-regress 0.10]
+//	lbpbench [-out BENCH_pr10.json] [-insts N] [-workload NAME] [-scheme NAME]
+//	lbpbench -compare -old BENCH_pr5.json -new BENCH_pr10.json [-max-regress 0.10]
+//	lbpbench -smoke [-insts N]
 //
 // Compare mode gates the trajectory: it exits non-zero when any entry of
-// -new regressed ns/op or allocs/op against -old by more than -max-regress.
-// -insts, -workload, -scheme and -seed spell the same across all commands.
+// -new regressed ns/op or allocs/op against -old by more than -max-regress
+// (a toolchain mismatch between the files warns but does not fail). Smoke
+// mode is the fast CI sanity pass: one in-memory run and one file-backed
+// streamed run must succeed, agree exactly and stay within the allocation
+// budget. -insts, -workload, -scheme and -seed spell the same across all
+// commands.
 package main
 
 import (
@@ -65,6 +72,7 @@ func main() {
 	oldPath := flag.String("old", "BENCH_baseline.json", "compare: reference baseline")
 	newPath := flag.String("new", "BENCH_pr5.json", "compare: candidate baseline")
 	maxRegress := flag.Float64("max-regress", 0.10, "compare: max tolerated fractional regression")
+	smoke := flag.Bool("smoke", false, "quick sanity mode: single-run core-loop + core-loop-stream with an allocs/op guard, no baseline file")
 	flag.Parse()
 
 	if *compare {
@@ -86,6 +94,13 @@ func main() {
 		fatal(err)
 	}
 	tr := w.Generate(*insts)
+
+	if *smoke {
+		if err := smokeRun(tr, scheme); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	// One reference run pins the cycle count the ns/cycle metric divides by
 	// (the simulator is deterministic, so every op retires the same cycles).
@@ -122,6 +137,11 @@ func main() {
 		bench("core-loop-obs",
 			localbp.WithCPIStack(), localbp.WithCounters(), localbp.WithEventTrace(4096)),
 	}
+	stream, err := streamEntry(tr, scheme, ref.Cycles)
+	if err != nil {
+		fatal(err)
+	}
+	entries = append(entries, stream)
 	decodes, err := decodeEntries(tr)
 	if err != nil {
 		fatal(err)
@@ -155,6 +175,121 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "lbpbench:", err)
 	os.Exit(1)
+}
+
+// writeLBP2Temp writes the reference trace to a temporary LBP2 file and
+// returns its path plus a cleanup func.
+func writeLBP2Temp(tr []trace.Inst) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "lbpbench-stream")
+	if err != nil {
+		return "", nil, err
+	}
+	path := filepath.Join(dir, "t.lbp2")
+	f, err := os.Create(path)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	if err := trace.WriteTraceLBP2(f, tr); err != nil {
+		f.Close()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	return path, func() { os.RemoveAll(dir) }, nil
+}
+
+// streamEntry measures the file-backed replay path end to end: each op opens
+// the LBP2 file as a streaming Source and runs the full simulation through
+// core.NewStream's fixed-memory sliding window — the exact pipeline
+// -trace-file replay and the daemon's file-backed jobs use. Comparing it
+// against core-loop prices the streaming layer itself, since both paths are
+// bit-identical in results.
+func streamEntry(tr []trace.Inst, scheme localbp.Scheme, cycles int64) (entry, error) {
+	path, cleanup, err := writeLBP2Temp(tr)
+	if err != nil {
+		return entry{}, err
+	}
+	defer cleanup()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, err := localbp.OpenTrace(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := localbp.FromSource(src, scheme)
+			localbp.CloseTrace(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Insts != uint64(len(tr)) {
+				b.Fatalf("streamed run retired %d insts, want %d", res.Insts, len(tr))
+			}
+		}
+	})
+	ns := float64(r.NsPerOp())
+	e := entry{
+		Name:        "core-loop-stream",
+		NsPerOp:     ns,
+		NsPerInst:   ns / float64(len(tr)),
+		NsPerCycle:  ns / float64(cycles),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	fmt.Printf("%-16s %12.0f ns/op  %6.1f ns/inst  %6.1f ns/cycle  %6d allocs/op  %9d B/op\n",
+		e.Name, e.NsPerOp, e.NsPerInst, e.NsPerCycle, e.AllocsPerOp, e.BytesPerOp)
+	return e, nil
+}
+
+// smokeAllocBudget mirrors TestCoreLoopAllocGuard's per-run allocation
+// budget: the core loop allocates at setup, not per cycle or per
+// instruction, so a fixed count covers any instruction volume.
+const smokeAllocBudget = 4096
+
+// smokeRun is the fast CI sanity pass: one in-memory run and one file-backed
+// streamed run of the same trace must succeed, agree on retired-instruction
+// and cycle counts (the two paths are bit-identical by contract), and stay
+// within the allocation budget. No baseline file is written — this gates
+// "the benchmark paths still work", not performance.
+func smokeRun(tr []trace.Inst, scheme localbp.Scheme) error {
+	ref, err := localbp.SimulateTrace(tr, scheme)
+	if err != nil {
+		return fmt.Errorf("smoke core-loop: %w", err)
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := localbp.SimulateTrace(tr, scheme); err != nil {
+			panic(err)
+		}
+	})
+	if allocs > smokeAllocBudget {
+		return fmt.Errorf("smoke core-loop: %.0f allocs/op, budget %d", allocs, smokeAllocBudget)
+	}
+
+	path, cleanup, err := writeLBP2Temp(tr)
+	if err != nil {
+		return fmt.Errorf("smoke core-loop-stream: %w", err)
+	}
+	defer cleanup()
+	src, err := localbp.OpenTrace(path)
+	if err != nil {
+		return fmt.Errorf("smoke core-loop-stream: %w", err)
+	}
+	res, err := localbp.FromSource(src, scheme)
+	localbp.CloseTrace(src)
+	if err != nil {
+		return fmt.Errorf("smoke core-loop-stream: %w", err)
+	}
+	if res.Insts != ref.Insts || res.Cycles != ref.Cycles {
+		return fmt.Errorf("smoke: streamed run diverges from in-memory run: %d insts/%d cycles vs %d/%d",
+			res.Insts, res.Cycles, ref.Insts, ref.Cycles)
+	}
+	fmt.Printf("smoke ok: %d insts, %d cycles, in-memory and streamed runs agree, %.0f allocs/op (budget %d)\n",
+		ref.Insts, ref.Cycles, allocs, smokeAllocBudget)
+	return nil
 }
 
 // decodeEntries measures on-disk trace decode throughput: the reference trace
@@ -289,6 +424,15 @@ func compareBaselines(oldPath, newPath string, maxRegress float64) error {
 	if oldB.Workload != newB.Workload || oldB.Insts != newB.Insts || oldB.Scheme != newB.Scheme {
 		fmt.Printf("note: configurations differ (%s/%s/%d vs %s/%s/%d); ratios may not be meaningful\n",
 			oldB.Workload, oldB.Scheme, oldB.Insts, newB.Workload, newB.Scheme, newB.Insts)
+	}
+	// A toolchain or platform mismatch skews ratios (different compiler,
+	// different machine class) but is routine across a long-lived trajectory,
+	// so it warns rather than fails.
+	if (oldB.GoVersion != "" && newB.GoVersion != "" && oldB.GoVersion != newB.GoVersion) ||
+		(oldB.GOOS != "" && newB.GOOS != "" && oldB.GOOS != newB.GOOS) ||
+		(oldB.GOARCH != "" && newB.GOARCH != "" && oldB.GOARCH != newB.GOARCH) {
+		fmt.Printf("WARNING: toolchain mismatch: old %s %s/%s vs new %s %s/%s — speedups partly reflect the toolchain, not just the code\n",
+			oldB.GoVersion, oldB.GOOS, oldB.GOARCH, newB.GoVersion, newB.GOOS, newB.GOARCH)
 	}
 	oldByName := map[string]entry{}
 	for _, e := range oldB.Entries {

@@ -170,6 +170,15 @@ type Meta struct {
 func (m *Meta) Pred() bool { return m.pred }
 
 // Predictor is a TAGE instance.
+//
+// The three folded-register files (index, tag, tag') are kept as flat
+// struct-of-arrays state — current values plus precomputed out-point shifts,
+// fold widths and masks — rather than []folded slices. The three hottest
+// loops in the whole simulator walk them (Predict's per-table index/tag
+// computation, SpecUpdateHistory's triple push, checkpoint save/restore),
+// and the SoA layout turns each iteration into a few masked shifts over
+// densely packed uint32s. The folded struct above remains the reference
+// model the property tests compare against.
 type Predictor struct {
 	cfg    Config
 	base   *bimodal.Predictor
@@ -181,9 +190,12 @@ type Predictor struct {
 	histLen int     // total bits pushed (monotonic)
 	phist   uint32
 
-	foldIdx  []folded
-	foldTag1 []folded
-	foldTag2 []folded
+	fIdx, fT1, fT2          []uint32 // folded register values, one per table
+	fIdxOut, fT1Out, fT2Out []uint32 // outPoint shift (origLen % compLen)
+	fT1Len, fT2Len          []uint32 // fold width; the index fold width is TableLog2
+	fT1Mask, fT2Mask        []uint32 // (1 << fold width) - 1
+	tagMask                 []uint32 // (1 << TagBits[t]) - 1
+	pmask                   []uint32 // phist mask: (1 << min(lens[t], phistBits)) - 1
 
 	useAltOnNA int
 	branchCnt  uint64
@@ -204,17 +216,36 @@ func New(cfg Config) *Predictor {
 		tables:   make([][]entry, nt),
 		lens:     geometric(cfg.MinHist, cfg.MaxHist, nt),
 		hist:     make([]uint8, histBufBits),
-		foldIdx:  make([]folded, nt),
-		foldTag1: make([]folded, nt),
-		foldTag2: make([]folded, nt),
+		fIdx:     make([]uint32, nt),
+		fT1:      make([]uint32, nt),
+		fT2:      make([]uint32, nt),
+		fIdxOut:  make([]uint32, nt),
+		fT1Out:   make([]uint32, nt),
+		fT2Out:   make([]uint32, nt),
+		fT1Len:   make([]uint32, nt),
+		fT2Len:   make([]uint32, nt),
+		fT1Mask:  make([]uint32, nt),
+		fT2Mask:  make([]uint32, nt),
+		tagMask:  make([]uint32, nt),
+		pmask:    make([]uint32, nt),
 		idxMask:  uint32(1)<<uint(cfg.TableLog2) - 1,
 		rngState: 0x853c49e6748fea9b,
 	}
 	for i := 0; i < nt; i++ {
 		p.tables[i] = make([]entry, 1<<cfg.TableLog2)
-		p.foldIdx[i] = newFolded(p.lens[i], cfg.TableLog2)
-		p.foldTag1[i] = newFolded(p.lens[i], cfg.TagBits[i])
-		p.foldTag2[i] = newFolded(p.lens[i], cfg.TagBits[i]-1)
+		p.fIdxOut[i] = uint32(p.lens[i] % cfg.TableLog2)
+		p.fT1Out[i] = uint32(p.lens[i] % cfg.TagBits[i])
+		p.fT2Out[i] = uint32(p.lens[i] % (cfg.TagBits[i] - 1))
+		p.fT1Len[i] = uint32(cfg.TagBits[i])
+		p.fT2Len[i] = uint32(cfg.TagBits[i] - 1)
+		p.fT1Mask[i] = uint32(1)<<uint(cfg.TagBits[i]) - 1
+		p.fT2Mask[i] = uint32(1)<<uint(cfg.TagBits[i]-1) - 1
+		p.tagMask[i] = uint32(1)<<uint(cfg.TagBits[i]) - 1
+		n := p.lens[i]
+		if n > phistBits {
+			n = phistBits
+		}
+		p.pmask[i] = uint32(1)<<uint(n) - 1
 	}
 	p.useAltOnNA = altCtrMax / 2
 	return p
@@ -272,7 +303,7 @@ func (p *Predictor) histBit(stepsBack int) uint32 {
 }
 
 func (p *Predictor) index(pc uint64, t int) uint32 {
-	h := p.foldIdx[t].value
+	h := p.fIdx[t]
 	v := uint32(pc>>2) ^ uint32(pc>>(uint(p.cfg.TableLog2)+2)) ^ h
 	if p.cfg.UsePathHist {
 		v ^= pathMix(p.phist, p.lens[t], p.cfg.TableLog2)
@@ -281,8 +312,8 @@ func (p *Predictor) index(pc uint64, t int) uint32 {
 }
 
 func (p *Predictor) tag(pc uint64, t int) uint16 {
-	v := uint32(pc>>2) ^ p.foldTag1[t].value ^ (p.foldTag2[t].value << 1)
-	return uint16(v & (1<<uint(p.cfg.TagBits[t]) - 1))
+	v := uint32(pc>>2) ^ p.fT1[t] ^ (p.fT2[t] << 1)
+	return uint16(v & p.tagMask[t])
 }
 
 // pathMix hashes the path history, bounded by the table's history length
@@ -319,9 +350,23 @@ func (p *Predictor) Predict(pc uint64, meta *Meta) bool {
 	meta.pred, meta.altPred = basePred, basePred
 	meta.weakProv = false
 
-	for t := 0; t < nt; t++ {
-		meta.indices[t] = p.index(pc, t)
-		meta.tags[t] = p.tag(pc, t)
+	// Fused index/tag computation over the SoA folded registers. The final
+	// mask distributes over xor, so pathMix's intermediate mask (same width
+	// as idxMask) folds into the single closing `& idxMask`.
+	pcIdx := uint32(pc>>2) ^ uint32(pc>>(uint(p.cfg.TableLog2)+2))
+	pcTag := uint32(pc >> 2)
+	log2 := uint(p.cfg.TableLog2)
+	if p.cfg.UsePathHist {
+		for t := 0; t < nt; t++ {
+			v := p.phist & p.pmask[t]
+			meta.indices[t] = (pcIdx ^ p.fIdx[t] ^ v ^ (v >> log2)) & p.idxMask
+			meta.tags[t] = uint16((pcTag ^ p.fT1[t] ^ (p.fT2[t] << 1)) & p.tagMask[t])
+		}
+	} else {
+		for t := 0; t < nt; t++ {
+			meta.indices[t] = (pcIdx ^ p.fIdx[t]) & p.idxMask
+			meta.tags[t] = uint16((pcTag ^ p.fT1[t] ^ (p.fT2[t] << 1)) & p.tagMask[t])
+		}
 	}
 	for t := nt - 1; t >= 0; t-- {
 		e := &p.tables[t][meta.indices[t]]
@@ -364,11 +409,30 @@ func (p *Predictor) SpecUpdateHistory(pc uint64, taken bool) {
 	p.hist[p.histPos] = uint8(in)
 	p.histPos = (p.histPos + 1) & (histBufBits - 1)
 	p.histLen++
-	for t := range p.tables {
-		out := p.histBit(p.lens[t])
-		p.foldIdx[t].push(in, out)
-		p.foldTag1[t].push(in, out)
-		p.foldTag2[t].push(in, out)
+	// Inlined folded.push over the SoA registers: shift in the new bit, xor
+	// out the bit pushed origLen steps ago at its folded position, wrap the
+	// overflow bit, mask. The index fold width is TableLog2 for every table.
+	idxLog2 := uint(p.cfg.TableLog2)
+	base := p.histPos - 1
+	nt := len(p.tables)
+	// Local re-slices pinned to nt (and hist to its fixed power-of-two
+	// length) let the compiler prove every index in the loop in-bounds.
+	hist := p.hist[:histBufBits:histBufBits]
+	lens := p.lens[:nt]
+	fIdx, fIdxOut := p.fIdx[:nt], p.fIdxOut[:nt]
+	fT1, fT1Out, fT1Len, fT1Mask := p.fT1[:nt], p.fT1Out[:nt], p.fT1Len[:nt], p.fT1Mask[:nt]
+	fT2, fT2Out, fT2Len, fT2Mask := p.fT2[:nt], p.fT2Out[:nt], p.fT2Len[:nt], p.fT2Mask[:nt]
+	for t := 0; t < nt; t++ {
+		out := uint32(hist[(base-lens[t])&(histBufBits-1)])
+		v := (fIdx[t]<<1 | in) ^ out<<fIdxOut[t]
+		v ^= v >> idxLog2
+		fIdx[t] = v & p.idxMask
+		v = (fT1[t]<<1 | in) ^ out<<fT1Out[t]
+		v ^= v >> fT1Len[t]
+		fT1[t] = v & fT1Mask[t]
+		v = (fT2[t]<<1 | in) ^ out<<fT2Out[t]
+		v ^= v >> fT2Len[t]
+		fT2[t] = v & fT2Mask[t]
 	}
 	p.phist = ((p.phist << 1) | uint32(pc>>2)&1) & (1<<phistBits - 1)
 }
@@ -386,11 +450,9 @@ func (p *Predictor) SaveCheckpoint(ck *Checkpoint) {
 	ck.foldIdx = ck.foldIdx[:nt]
 	ck.foldTag1 = ck.foldTag1[:nt]
 	ck.foldTag2 = ck.foldTag2[:nt]
-	for t := 0; t < nt; t++ {
-		ck.foldIdx[t] = p.foldIdx[t].value
-		ck.foldTag1[t] = p.foldTag1[t].value
-		ck.foldTag2[t] = p.foldTag2[t].value
-	}
+	copy(ck.foldIdx, p.fIdx)
+	copy(ck.foldTag1, p.fT1)
+	copy(ck.foldTag2, p.fT2)
 	ck.histPos = p.histPos
 	ck.histLen = p.histLen
 	ck.phist = p.phist
@@ -427,11 +489,9 @@ func (p *Predictor) PrimeCheckpoints(cks []*Checkpoint) {
 // pre-checkpoint bits as long as fewer than histBufBits branches were in
 // flight, which the core guarantees by construction.
 func (p *Predictor) RestoreCheckpoint(ck *Checkpoint) {
-	for t := range p.tables {
-		p.foldIdx[t].value = ck.foldIdx[t]
-		p.foldTag1[t].value = ck.foldTag1[t]
-		p.foldTag2[t].value = ck.foldTag2[t]
-	}
+	copy(p.fIdx, ck.foldIdx)
+	copy(p.fT1, ck.foldTag1)
+	copy(p.fT2, ck.foldTag2)
 	p.histPos = ck.histPos
 	p.histLen = ck.histLen
 	p.phist = ck.phist

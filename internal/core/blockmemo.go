@@ -1,0 +1,263 @@
+package core
+
+import "localbp/internal/trace"
+
+// Hot basic-block memoization (DESIGN.md §17).
+//
+// Steady-state loop workloads allocate the same short runs of plain ALU
+// instructions over and over, and for those runs the allocation-stage timing
+// computation is a pure function of a tiny input vector: the per-instruction
+// register operands, how far in the future each run-external source register
+// becomes ready, and the ALU bank's occupancy — everything measured relative
+// to the current cycle. A small direct-mapped cache keyed on exactly that
+// vector (hashed with the entry PC for locality) records the run's timeline
+// — each instruction's completion delta and the canonical post-run ALU
+// occupancy — and replays it on a hit instead of re-deriving it through
+// execTiming.
+//
+// Exactness does not rest on the invalidation policy: a replay fires only
+// when every recorded input matches the live input bit-for-bit, and the two
+// clamps below are semantics-preserving:
+//
+//   - readiness/occupancy deltas clamp below at 1 because every consumer
+//     computes max(ready, v) with ready >= cycle+1 and the clock is
+//     monotone, so all values at or before cycle+1 are interchangeable
+//     forever after;
+//   - runs whose deltas exceed the clamp ceiling are simply not memoized.
+//
+// The post-run ALU bank is written back as the sorted free-cycle multiset,
+// which is a valid min-heap layout; resource semantics are a function of the
+// multiset only (see the resource doc), so the canonical layout is
+// observably identical to whatever sift order the live path produced.
+//
+// Invalidation (mispredict, early resteer, divergence onset — every repair
+// action is initiated by one of those) bumps a generation counter that
+// orphans all entries at once. It keeps the cache from serving timelines
+// recorded under a control-flow regime that no longer exists; correctness
+// would hold even without it, which is what lets the invalidation-storm
+// property test bump the epoch at random without changing observables.
+const (
+	bmemoSlots   = 512 // direct-mapped entries, power of two
+	bmemoMaxRun  = 4   // instructions per memoized run
+	bmemoMaxALUs = 8   // ALU banks wider than this disable the memo
+	bmemoClamp   = 63  // max key-able readiness/occupancy delta
+)
+
+type bmemoEntry struct {
+	sigA  uint64 // packed (src1,src2,dst) of run insts 0-1, plus run length
+	sigB  uint64 // packed (src1,src2,dst) of run insts 2-3
+	ready uint64 // clamped readiness deltas of run-external sources, in read order
+	occ   uint64 // clamped pre-run ALU free-cycle multiset, ascending
+	epoch uint32 // generation stamp; stale entries never hit (0 = never valid)
+
+	done [bmemoMaxRun]uint8  // completion cycle - entry cycle, per inst
+	post [bmemoMaxALUs]uint8 // clamped post-run ALU free-cycle multiset, ascending
+}
+
+// blockMemoAlloc allocates up to `width` instructions from the queue head as
+// one memoized run. It returns the number of instructions it consumed; 0
+// means the head is not a memoizable run and the caller must allocate live.
+// On a key miss the run still allocates here (live, through execTiming) and
+// its timeline is recorded for the next occurrence.
+func (c *Core) blockMemoAlloc(width int) int {
+	if c.bmemoStorm != 0 {
+		// Invalidation-storm test hook: an xorshift stream decides, per
+		// attempt, whether to orphan the whole cache first.
+		c.bmemoStorm ^= c.bmemoStorm << 13
+		c.bmemoStorm ^= c.bmemoStorm >> 7
+		c.bmemoStorm ^= c.bmemoStorm << 17
+		if c.bmemoStorm&7 == 0 {
+			c.bmemoInvalidate()
+		}
+	}
+	T := c.cycle
+	lim := width
+	if c.fqCount < lim {
+		lim = c.fqCount
+	}
+	if r := c.robSize - c.robLen(); r < lim {
+		lim = r
+	}
+	if lim > bmemoMaxRun {
+		lim = bmemoMaxRun
+	}
+	var insts [bmemoMaxRun]*trace.Inst
+	k := 0
+	for ; k < lim; k++ {
+		s := &c.fetchQ[(c.fqHead+k)&c.fqMask]
+		if s.wrongPath || s.inst.Class != trace.ClassALU || s.ready > T {
+			break
+		}
+		insts[k] = &s.inst
+	}
+	if k == 0 {
+		return 0
+	}
+
+	// Key: exact operand signature, run-external source readiness, ALU
+	// occupancy. Sources produced inside the run key as 0 — their readiness
+	// is determined by the recorded timeline itself.
+	var sigA, sigB, ready uint64
+	for i := 0; i < k; i++ {
+		in := insts[i]
+		p := uint64(in.Src1)<<16 | uint64(in.Src2)<<8 | uint64(in.Dst)
+		if i < 2 {
+			sigA |= p << (24 * i)
+		} else {
+			sigB |= p << (24 * (i - 2))
+		}
+		for _, r := range [2]uint8{in.Src1, in.Src2} {
+			var d uint64
+			if !runWrote(insts[:i], r) {
+				dd := c.regReady[r] - T
+				if dd < 1 {
+					dd = 1
+				}
+				if dd > bmemoClamp {
+					return 0
+				}
+				d = uint64(dd)
+			}
+			ready = ready<<8 | d
+		}
+	}
+	sigA |= uint64(k) << 48
+
+	f := c.alus.free
+	var lv [bmemoMaxALUs]uint8
+	for i, v := range f {
+		d := v - T
+		if d < 1 {
+			d = 1
+		}
+		if d > bmemoClamp {
+			return 0
+		}
+		lv[i] = uint8(d)
+	}
+	sortLevels(lv[:len(f)])
+	var occ uint64
+	for i := 0; i < len(f); i++ {
+		occ = occ<<8 | uint64(lv[i])
+	}
+
+	h := insts[0].PC*0x9E3779B97F4A7C15 ^ sigA ^ sigB*0xBF58476D1CE4E5B9 ^
+		ready ^ occ*0x94D049BB133111EB
+	slot := &c.bmemo[(h>>16)&uint64(len(c.bmemo)-1)]
+
+	if slot.epoch == c.bmemoEpoch && slot.sigA == sigA && slot.sigB == sigB &&
+		slot.ready == ready && slot.occ == occ {
+		c.dbgMemoHits++
+		for i := 0; i < k; i++ {
+			s, rec := c.fqPop()
+			abs := c.robTail
+			done := T + int64(slot.done[i])
+			*c.robAt(abs) = robEntry{
+				seq:       c.seq,
+				class:     trace.ClassALU,
+				streamPos: s.streamPos,
+				done:      done,
+			}
+			c.robRec[abs&c.robMask] = rec
+			c.seq++
+			c.robTail++
+			c.dbgDoneSum += done - T
+			c.dbgDoneN++
+			if d := s.inst.Dst; d != 0 {
+				c.regReady[d] = done
+			}
+		}
+		for i := range f {
+			f[i] = T + int64(slot.post[i])
+		}
+		return k
+	}
+
+	// Miss: allocate live and record the timeline.
+	c.dbgMemoMisses++
+	var done [bmemoMaxRun]uint8
+	fits := true
+	for i := 0; i < k; i++ {
+		s, rec := c.fqPop()
+		abs := c.robTail
+		e := c.robAt(abs)
+		*e = robEntry{
+			seq:       c.seq,
+			class:     s.inst.Class,
+			streamPos: s.streamPos,
+			done:      1 << 62,
+		}
+		c.robRec[abs&c.robMask] = rec
+		c.seq++
+		c.robTail++
+		dn := c.execTiming(&s.inst)
+		e.done = dn
+		c.dbgDoneSum += dn - T
+		c.dbgDoneN++
+		if d := dn - T; d >= 1 && d <= 255 {
+			done[i] = uint8(d)
+		} else {
+			fits = false
+		}
+	}
+	if fits {
+		var post [bmemoMaxALUs]uint8
+		for i, v := range f {
+			d := v - T
+			if d < 1 {
+				d = 1
+			}
+			if d > 255 {
+				fits = false
+				break
+			}
+			post[i] = uint8(d)
+		}
+		if fits {
+			sortLevels(post[:len(f)])
+			*slot = bmemoEntry{
+				sigA: sigA, sigB: sigB, ready: ready, occ: occ,
+				epoch: c.bmemoEpoch, done: done, post: post,
+			}
+			c.dbgMemoStores++
+		}
+	}
+	return k
+}
+
+// runWrote reports whether any earlier instruction of the run produces r.
+func runWrote(prior []*trace.Inst, r uint8) bool {
+	for _, in := range prior {
+		if in.Dst == r && r != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sortLevels insertion-sorts a tiny level slice ascending.
+func sortLevels(s []uint8) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// bmemoInvalidate orphans every memo entry (generation bump).
+func (c *Core) bmemoInvalidate() {
+	if c.bmemo != nil {
+		c.bmemoEpoch++
+		c.dbgMemoInvals++
+	}
+}
+
+// BlockMemoCounters reports (hits, misses, stores, invalidations) for the
+// basic-block memo — diagnostics only, never part of Stats.
+func (c *Core) BlockMemoCounters() (int64, int64, int64, int64) {
+	return c.dbgMemoHits, c.dbgMemoMisses, c.dbgMemoStores, c.dbgMemoInvals
+}

@@ -104,6 +104,14 @@ func (q *calQueue) insert(r resolution) {
 // entries. fn must not insert (the core resolves branches here; inserts only
 // happen at allocation).
 func (q *calQueue) drain(cycle int64, fn func(*resolution)) {
+	if q.count == 0 && len(q.overflow) == 0 {
+		// Empty queue: advancing the window is all there is to do.
+		q.base = cycle + 1
+		if q.scanFrom < q.base {
+			q.scanFrom = q.base
+		}
+		return
+	}
 	if q.count > 0 {
 		start := q.base
 		if q.scanFrom > start {

@@ -20,7 +20,6 @@ type robEntry struct {
 	isBranch  bool
 	wrongPath bool
 	resolved  bool
-	rec       *bpu.BranchRec
 	streamPos int // index in the trace (real-path instructions only)
 }
 
@@ -29,7 +28,6 @@ type fetchSlot struct {
 	inst      trace.Inst
 	ready     int64 // cycle at which it may allocate (fetch + frontend depth)
 	wrongPath bool
-	rec       *bpu.BranchRec
 	streamPos int
 }
 
@@ -58,13 +56,28 @@ type resource struct {
 func newResource(n int) *resource { return &resource{free: make([]int64, n)} }
 
 // take reserves a unit from cycle `at` for `dur` cycles and returns the
-// actual start (>= at, delayed if all units busy).
+// actual start (>= at, delayed if all units busy). One- and two-unit banks
+// (multipliers, store ports, FP units, load ports in the Table 2 config) are
+// special-cased: the heap degenerates to an assignment or a single compare.
 func (r *resource) take(at, dur int64) int64 {
+	f := r.free
 	start := at
-	if f := r.free[0]; f > start {
-		start = f
+	if f[0] > start {
+		start = f[0]
 	}
-	r.replaceMin(start + dur)
+	v := start + dur
+	switch len(f) {
+	case 1:
+		f[0] = v
+	case 2:
+		if f[1] < v {
+			f[0], f[1] = f[1], v
+		} else {
+			f[0] = v
+		}
+	default:
+		r.replaceMin(v)
+	}
 	return start
 }
 
@@ -90,6 +103,90 @@ func (r *resource) replaceMin(v int64) {
 	f[i] = v
 }
 
+// occBuf models a bank of interchangeable buffer slots (the load and store
+// buffers) whose take start cycle is discarded by its only caller: the sole
+// observables are the earliest next-free cycle (allBusy, lsqBusyUntil) and
+// the slot count (the auditor's occupancy invariant). That collapses the
+// 72-entry heap to a short sorted run-length list of (free-cycle, count)
+// levels — free cycles cluster into two or three runs in practice — so a
+// take is an O(1) head decrement plus a front insert instead of an O(log n)
+// sift. The level list grows by append in the (pathological) worst case, so
+// the representation stays exact for every configuration.
+type occBuf struct {
+	slots  int
+	levels []occLevel // ascending free cycles; counts sum to slots
+}
+
+type occLevel struct {
+	free int64
+	n    int32
+}
+
+func newOccBuf(n int) *occBuf {
+	b := &occBuf{slots: n, levels: make([]occLevel, 1, 8)}
+	b.levels[0] = occLevel{free: 0, n: int32(n)}
+	return b
+}
+
+// take1 reserves a slot from cycle `at` for one cycle: the earliest-free
+// slot is re-busied until max(free, at)+1, exactly as resource.take(at, 1)
+// would move the heap minimum.
+//
+// Levels at or before `at` are first folded into the head. That is exact:
+// `at` cycles are monotone, so every later query compares against a cycle
+// >= at, where all folded values are equally "free now" — and the head
+// keeps the true multiset minimum, so minFree stays the heap minimum
+// whenever it is observable (> the query cycle). The fold keeps the list at
+// one free run plus a couple of busy levels, so the insert scan is O(1).
+func (b *occBuf) take1(at int64) {
+	ls := b.levels
+	for len(ls) > 1 && ls[0].free <= at && ls[1].free <= at {
+		ls[0].n += ls[1].n
+		copy(ls[1:], ls[2:])
+		ls = ls[:len(ls)-1]
+		b.levels = ls
+	}
+	v := at + 1
+	if m := ls[0].free; m > at {
+		v = m + 1
+	}
+	// Consume one slot from the minimum level...
+	if ls[0].n--; ls[0].n == 0 {
+		copy(ls, ls[1:])
+		ls = ls[:len(ls)-1]
+		b.levels = ls
+	}
+	// ...and re-insert it at v. Every level below v is <= at (the free
+	// run), so the insertion point is the free/busy boundary at the front.
+	i := 0
+	for i < len(ls) && ls[i].free < v {
+		i++
+	}
+	if i < len(ls) && ls[i].free == v {
+		ls[i].n++
+		return
+	}
+	ls = append(ls, occLevel{})
+	copy(ls[i+1:], ls[i:])
+	ls[i] = occLevel{free: v, n: 1}
+	b.levels = ls
+}
+
+// minFree returns the earliest next-free cycle across the bank's slots.
+func (b *occBuf) minFree() int64 { return b.levels[0].free }
+
+// allBusy reports whether every slot is reserved past cycle.
+func (b *occBuf) allBusy(cycle int64) bool { return b.levels[0].free > cycle }
+
+// size returns the live slot count (the auditor's occupancy cross-check).
+func (b *occBuf) size() int {
+	n := 0
+	for _, l := range b.levels {
+		n += int(l.n)
+	}
+	return n
+}
+
 // Core is one simulated out-of-order core.
 type Core struct {
 	cfg  Config
@@ -111,22 +208,37 @@ type Core struct {
 	streamWindow int
 	srcErr       error
 
-	// ROB as a ring with absolute head/tail indices.
+	// ROB as a ring with absolute head/tail indices. The backing array is
+	// sized to the next power of two above the configured capacity so the
+	// per-access slot computation is a mask instead of an int64 division;
+	// robSize carries the architectural occupancy bound.
 	rob     []robEntry
 	robHead int64
 	robTail int64
+	robMask int64
+	robSize int
+	// robRec runs parallel to rob (same mask): keeping the branch-record
+	// pointers out of robEntry makes the hot alloc-time entry write a
+	// pointer-free store (no GC write barrier on the ring).
+	robRec []*bpu.BranchRec
 
-	fetchQ  []fetchSlot
-	fqHead  int
-	fqTail  int
+	fetchQ []fetchSlot
+	fqHead int
+	fqTail int
+	fqMask int
+	// fqCount/fqSize mirror the ROB split: the ring is power-of-two sized
+	// for mask wrapping, fqSize is the architectural capacity.
 	fqCount int
+	fqSize  int
+	// fqRec runs parallel to fetchQ, for the same reason as robRec.
+	fqRec []*bpu.BranchRec
 
 	resolutions calQueue
 
 	regReady [trace.NumRegs]int64
 
 	alus, muls, fps, ldPorts, stPorts *resource
-	ldBuf, stBuf                      *resource
+	ldBuf, stBuf                      *occBuf
 
 	cycle int64
 	seq   uint64
@@ -161,6 +273,16 @@ type Core struct {
 	dbgDoneSum                          int64
 	dbgDoneN                            int64
 
+	// Basic-block memoization (blockmemo.go). bmemo nil disables the path;
+	// bmemoEpoch orphans all entries on control-flow repair; bmemoStorm, when
+	// nonzero, seeds the invalidation-storm test hook. The counters are
+	// diagnostics, deliberately outside Stats.
+	bmemo      []bmemoEntry
+	bmemoEpoch uint32
+	bmemoStorm uint64
+
+	dbgMemoHits, dbgMemoMisses, dbgMemoStores, dbgMemoInvals int64
+
 	// Observability (all nil/zero when disabled; the per-cycle nil checks
 	// are the entire disabled-path cost).
 	cpi    *obs.CPIStack
@@ -192,16 +314,22 @@ func New(cfg Config, unit *bpu.Unit, prog []trace.Inst) *Core {
 		mem:         mem.New(cfg.Mem),
 		prog:        prog,
 		total:       len(prog),
-		rob:         make([]robEntry, cfg.ROBSize),
-		fetchQ:      make([]fetchSlot, cfg.AllocQueue),
+		rob:         make([]robEntry, nextPow2(cfg.ROBSize)),
+		robRec:      make([]*bpu.BranchRec, nextPow2(cfg.ROBSize)),
+		robMask:     int64(nextPow2(cfg.ROBSize) - 1),
+		robSize:     cfg.ROBSize,
+		fetchQ:      make([]fetchSlot, nextPow2(cfg.AllocQueue)),
+		fqRec:       make([]*bpu.BranchRec, nextPow2(cfg.AllocQueue)),
+		fqMask:      nextPow2(cfg.AllocQueue) - 1,
+		fqSize:      cfg.AllocQueue,
 		resolutions: newCalQueue(),
 		alus:        newResource(cfg.ALUs),
 		muls:        newResource(cfg.Muls),
 		fps:         newResource(cfg.FPs),
 		ldPorts:     newResource(cfg.LoadPorts),
 		stPorts:     newResource(cfg.StorePorts),
-		ldBuf:       newResource(cfg.LoadBuffer),
-		stBuf:       newResource(cfg.StoreBuffer),
+		ldBuf:       newOccBuf(cfg.LoadBuffer),
+		stBuf:       newOccBuf(cfg.StoreBuffer),
 	}
 	// Pre-size the branch-record pool for the worst-case in-flight branch
 	// population (alloc queue + ROB, plus slack for records awaiting a
@@ -210,6 +338,10 @@ func New(cfg Config, unit *bpu.Unit, prog []trace.Inst) *Core {
 	unit.Prealloc(cfg.AllocQueue + cfg.ROBSize + 64)
 	if cfg.BTB.Entries > 0 {
 		c.btb = btb.New(cfg.BTB)
+	}
+	if !cfg.DisableBlockMemo && cfg.ALUs <= bmemoMaxALUs {
+		c.bmemo = make([]bmemoEntry, bmemoSlots)
+		c.bmemoEpoch = 1
 	}
 	if h := cfg.Obs; h != nil {
 		c.cpi = h.CPI
@@ -248,30 +380,53 @@ func (c *Core) Stats() Stats { return c.stats }
 // Mem exposes the memory hierarchy (examples and tests).
 func (c *Core) Mem() *mem.Hierarchy { return c.mem }
 
-func (c *Core) robAt(abs int64) *robEntry { return &c.rob[abs%int64(len(c.rob))] }
+// Recycle returns pooled resources (the memory-hierarchy metadata arrays) for
+// reuse by a future core. The core must not be used afterwards; callers that
+// still need Mem() or further stepping must skip it. Purely a performance
+// hand-over — a run that never recycles behaves identically.
+func (c *Core) Recycle() { c.mem.Recycle() }
+
+// nextPow2 returns the smallest power of two >= n (n >= 1), so ring slot
+// arithmetic is a mask instead of a division.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (c *Core) robAt(abs int64) *robEntry { return &c.rob[abs&c.robMask] }
 func (c *Core) robLen() int               { return int(c.robTail - c.robHead) }
 
-func (c *Core) fqPush(s fetchSlot) {
-	c.fetchQ[c.fqTail] = s
-	c.fqTail = (c.fqTail + 1) % len(c.fetchQ)
+// fqSlot reserves the tail slot for in-place construction; the caller fills
+// it through the returned pointer (one write instead of build-then-copy).
+func (c *Core) fqSlot() (*fetchSlot, int) {
+	i := c.fqTail
+	c.fqTail = (i + 1) & c.fqMask
 	c.fqCount++
+	return &c.fetchQ[i], i
 }
 
 func (c *Core) fqPeek() *fetchSlot { return &c.fetchQ[c.fqHead] }
 
-func (c *Core) fqPop() fetchSlot {
-	s := c.fetchQ[c.fqHead]
-	c.fqHead = (c.fqHead + 1) % len(c.fetchQ)
+// fqPop consumes the head slot, returning a pointer into the ring. The slot's
+// storage stays intact until the next fqSlot reservation wraps onto it —
+// which cannot happen before the caller is done with it, because allocation
+// (the only consumer) runs before fetch (the only producer) within a cycle.
+func (c *Core) fqPop() (*fetchSlot, *bpu.BranchRec) {
+	i := c.fqHead
+	c.fqHead = (i + 1) & c.fqMask
 	c.fqCount--
-	return s
+	return &c.fetchQ[i], c.fqRec[i]
 }
 
 // fqFlush squashes every queued instruction (front-end flush).
 func (c *Core) fqFlush() {
 	for c.fqCount > 0 {
-		s := c.fqPop()
-		if s.rec != nil {
-			c.unit.Squash(s.rec)
+		_, rec := c.fqPop()
+		if rec != nil {
+			c.unit.Squash(rec)
 		}
 	}
 }
@@ -349,6 +504,27 @@ func (c *Core) RunContext(ctx context.Context) (Stats, error) {
 			}
 			if x := c.idleUntil(limit); x > c.cycle {
 				c.skipIdle(x - c.cycle)
+				continue
+			}
+			if n := c.retireBurst(budget - 1); n > 0 {
+				// The burst already applied every per-cycle effect; only the
+				// live loop's post-iteration bookkeeping remains. It always
+				// retires at least one instruction per consumed cycle, so the
+				// no-retire deadman cannot be pending.
+				if c.integrity != nil {
+					c.stats.Cycles = c.cycle
+					return c.stats, c.integrity
+				}
+				lastInsts = c.stats.Insts
+				lastRetireCycle = c.cycle
+				if c.cycle >= budget {
+					c.stats.Cycles = c.cycle
+					return c.stats, &StallError{
+						Reason: fmt.Sprintf("cycle budget: exceeded %d cycles for %d instructions", budget, c.total),
+						Cycle:  c.cycle,
+						Dump:   c.dumpState(),
+					}
+				}
 				continue
 			}
 		}
@@ -464,15 +640,15 @@ func (c *Core) auditScan() {
 	a := c.cfg.Audit
 	n := c.robLen()
 	a.Note(3 + 2*n + c.resolutions.len())
-	if n < 0 || n > len(c.rob) || c.fqCount < 0 || c.fqCount > len(c.fetchQ) {
+	if n < 0 || n > c.robSize || c.fqCount < 0 || c.fqCount > c.fqSize {
 		c.violation(0, audit.InvOccupancy, fmt.Sprintf(
-			"  rob occupancy %d/%d, alloc-queue occupancy %d/%d", n, len(c.rob), c.fqCount, len(c.fetchQ)))
+			"  rob occupancy %d/%d, alloc-queue occupancy %d/%d", n, c.robSize, c.fqCount, c.fqSize))
 		return
 	}
-	if len(c.ldBuf.free) != c.cfg.LoadBuffer || len(c.stBuf.free) != c.cfg.StoreBuffer {
+	if c.ldBuf.size() != c.cfg.LoadBuffer || c.stBuf.size() != c.cfg.StoreBuffer {
 		c.violation(0, audit.InvOccupancy, fmt.Sprintf(
 			"  load buffer %d/%d slots, store buffer %d/%d slots",
-			len(c.ldBuf.free), c.cfg.LoadBuffer, len(c.stBuf.free), c.cfg.StoreBuffer))
+			c.ldBuf.size(), c.cfg.LoadBuffer, c.stBuf.size(), c.cfg.StoreBuffer))
 		return
 	}
 	unresolved := 0
@@ -520,10 +696,10 @@ func (c *Core) classifyCycle(retired bool) obs.CPIBucket {
 		if c.busyFn != nil && c.busyFn() > c.cycle {
 			return obs.CPIRepairBusy
 		}
-		if c.robLen() >= len(c.rob) {
+		if c.robLen() >= c.robSize {
 			return obs.CPIROBFull
 		}
-		if allBusy(c.ldBuf, c.cycle) || allBusy(c.stBuf, c.cycle) {
+		if c.ldBuf.allBusy(c.cycle) || c.stBuf.allBusy(c.cycle) {
 			return obs.CPILSQFull
 		}
 		return obs.CPIAllocStall
@@ -532,12 +708,6 @@ func (c *Core) classifyCycle(retired bool) obs.CPIBucket {
 		return obs.CPIFrontendResteer
 	}
 	return obs.CPIAllocStall
-}
-
-// allBusy reports whether every unit of r is reserved past cycle (the heap
-// minimum is the earliest-free unit).
-func allBusy(r *resource, cycle int64) bool {
-	return r.free[0] > cycle
 }
 
 // noteResteer extends the front-end-resteer attribution window: after a
@@ -583,11 +753,12 @@ func (c *Core) resolveOne(r *resolution) {
 // still active — always belongs to this branch.
 func (c *Core) handleMispredict(robIdx int64, e *robEntry) {
 	c.stats.Flushes++
-	if c.tracer != nil && e.rec != nil {
-		c.tracer.Emit(obs.EvMispredict, c.cycle, e.rec.Ctx.PC, int64(e.rec.Ctx.Seq))
+	if rec := c.robRec[robIdx&c.robMask]; c.tracer != nil && rec != nil {
+		c.tracer.Emit(obs.EvMispredict, c.cycle, rec.Ctx.PC, int64(rec.Ctx.Seq))
 	}
 	c.flushROBAfter(robIdx)
 	c.fqFlush()
+	c.bmemoInvalidate()
 	c.diverged = false
 	c.pos = e.streamPos + 1
 	hold := c.cycle + c.cfg.ResteerPenalty
@@ -601,10 +772,9 @@ func (c *Core) handleMispredict(robIdx int64, e *robEntry) {
 
 func (c *Core) flushROBAfter(robIdx int64) {
 	for abs := c.robTail - 1; abs > robIdx; abs-- {
-		e := c.robAt(abs)
-		if e.rec != nil {
-			c.unit.Squash(e.rec)
-			e.rec = nil
+		if rec := c.robRec[abs&c.robMask]; rec != nil {
+			c.unit.Squash(rec)
+			c.robRec[abs&c.robMask] = nil
 		}
 	}
 	c.robTail = robIdx + 1
@@ -614,6 +784,7 @@ func (c *Core) flushROBAfter(robIdx int64) {
 func (c *Core) stepRetire() {
 	for retired := 0; retired < c.cfg.Width && c.robLen() > 0; retired++ {
 		e := c.robAt(c.robHead)
+		rec := c.robRec[c.robHead&c.robMask]
 		if e.wrongPath {
 			// Wrong-path instructions are always flushed before
 			// reaching the head; seeing one here is a model bug.
@@ -631,7 +802,7 @@ func (c *Core) stepRetire() {
 					"  retiring seq=%d after seq=%d", e.seq, c.lastRetSeq))
 				return
 			}
-			if e.isBranch && e.rec == nil {
+			if e.isBranch && rec == nil {
 				c.violation(0, audit.InvBranchRecord, fmt.Sprintf(
 					"  retiring branch seq=%d carries no prediction record", e.seq))
 				return
@@ -641,8 +812,8 @@ func (c *Core) stepRetire() {
 			// Read the branch record before Retire recycles it.
 			var pc uint64
 			var taken bool
-			if e.isBranch && e.rec != nil {
-				pc, taken = e.rec.Ctx.PC, e.rec.Ctx.ActualTaken
+			if e.isBranch && rec != nil {
+				pc, taken = rec.Ctx.PC, rec.Ctx.ActualTaken
 			}
 			if err := g.Retire(e.streamPos, e.class, e.isBranch, pc, taken, c.cycle); err != nil {
 				c.fail(err)
@@ -655,9 +826,9 @@ func (c *Core) stepRetire() {
 		c.lastRetSeq, c.hasRetired = e.seq, true
 		if e.isBranch {
 			c.stats.Branches++
-			if e.rec != nil {
-				c.unit.Retire(e.rec)
-				e.rec = nil
+			if rec != nil {
+				c.unit.Retire(rec)
+				c.robRec[c.robHead&c.robMask] = nil
 			}
 		}
 		c.stats.Insts++
@@ -673,16 +844,21 @@ func (c *Core) stepAlloc() {
 			c.dbgFQEmpty++
 			return
 		}
-		if c.robLen() >= len(c.rob) {
+		if c.robLen() >= c.robSize {
 			c.dbgROBFull++
 			return
 		}
-		slot := c.fqPeek()
-		if slot.ready > c.cycle {
+		if c.fqPeek().ready > c.cycle {
 			c.dbgNotReady++
 			return
 		}
-		s := c.fqPop()
+		if c.bmemo != nil {
+			if k := c.blockMemoAlloc(c.cfg.Width - n); k > 0 {
+				n += k - 1
+				continue
+			}
+		}
+		s, rec := c.fqPop()
 		abs := c.robTail
 		e := c.robAt(abs)
 		*e = robEntry{
@@ -690,17 +866,17 @@ func (c *Core) stepAlloc() {
 			class:     s.inst.Class,
 			isBranch:  s.inst.IsBranch(),
 			wrongPath: s.wrongPath,
-			rec:       s.rec,
 			streamPos: s.streamPos,
 			done:      1 << 62,
 		}
+		c.robRec[abs&c.robMask] = rec
 		c.seq++
 		c.robTail++
 
 		if s.wrongPath {
 			// Wrong-path work occupies the slot but is not executed.
-			if e.isBranch && s.rec != nil {
-				c.unit.AllocStage(s.rec, c.cycle) // BHT-Defer pollution
+			if e.isBranch && rec != nil {
+				c.unit.AllocStage(rec, c.cycle) // BHT-Defer pollution
 			}
 			continue
 		}
@@ -710,16 +886,16 @@ func (c *Core) stepAlloc() {
 		c.dbgDoneSum += done - c.cycle
 		c.dbgDoneN++
 		if e.isBranch {
-			if s.rec == nil {
+			if rec == nil {
 				c.violation(s.inst.PC, audit.InvBranchRecord, fmt.Sprintf(
 					"  allocating branch seq=%d pc=%#x without a prediction record", e.seq, s.inst.PC))
 				return
 			}
-			if c.unit.AllocStage(s.rec, c.cycle) {
-				c.handleEarlyResteer(e, s.rec)
+			if c.unit.AllocStage(rec, c.cycle) {
+				c.handleEarlyResteer(e, rec)
 			}
-			s.rec.InFlight = true
-			c.resolutions.insert(resolution{done: done, seq: e.seq, rob: abs, rec: s.rec})
+			rec.InFlight = true
+			c.resolutions.insert(resolution{done: done, seq: e.seq, rob: abs, rec: rec})
 		}
 	}
 }
@@ -733,6 +909,7 @@ func (c *Core) handleEarlyResteer(e *robEntry, rec *bpu.BranchRec) {
 		c.tracer.Emit(obs.EvEarlyResteer, c.cycle, rec.Ctx.PC, int64(rec.Ctx.Seq))
 	}
 	c.fqFlush()
+	c.bmemoInvalidate()
 	hold := c.cycle + c.cfg.EarlyResteerPenalty
 	if hold > c.fetchHoldTo {
 		c.fetchHoldTo = hold
@@ -769,11 +946,11 @@ func (c *Core) execTiming(in *trace.Inst) int64 {
 	var start, lat int64
 	switch in.Class {
 	case trace.ClassLoad:
-		c.ldBuf.take(c.cycle, 1) // occupancy approximated by port pressure
+		c.ldBuf.take1(c.cycle) // occupancy approximated by port pressure
 		start = c.ldPorts.take(ready, 1)
 		lat = c.mem.AccessAt(in.Addr, c.cycle)
 	case trace.ClassStore:
-		c.stBuf.take(c.cycle, 1)
+		c.stBuf.take1(c.cycle)
 		start = c.stPorts.take(ready, 1)
 		lat = 1
 		// Stores complete at retire; data path latency hidden.
@@ -802,17 +979,22 @@ func (c *Core) stepFetch() {
 		c.stats.FetchStallCycles++
 		return
 	}
-	for n := 0; n < c.cfg.Width && c.fqCount < len(c.fetchQ); n++ {
-		var in trace.Inst
-		var streamPos int
+	ready := c.cycle + c.cfg.FrontendDepth
+	for n := 0; n < c.cfg.Width && c.fqCount < c.fqSize; n++ {
 		wrongPath := c.diverged
+		var slot *fetchSlot
+		var si int
 		if wrongPath {
 			if !c.cfg.WrongPath || c.wrongLeft <= 0 {
 				return // fetch stalls until the divergence resolves
 			}
 			c.wrongLeft--
-			in = c.nextWrongPath()
-			streamPos = -1
+			// The slot is reserved only after the stall checks above, so an
+			// early return never consumes ring space; the synthesizer writes
+			// the instruction in place (no intermediate copy).
+			slot, si = c.fqSlot()
+			c.nextWrongPath(&slot.inst)
+			slot.streamPos = -1
 			c.stats.WrongPathInsts++
 		} else {
 			if c.pos >= c.total {
@@ -821,22 +1003,20 @@ func (c *Core) stepFetch() {
 			if c.pos-c.base >= len(c.prog) && !c.refill() {
 				return // srcErr is set; RunContext aborts at cycle end
 			}
-			in = c.prog[c.pos-c.base]
-			streamPos = c.pos
+			slot, si = c.fqSlot()
+			slot.inst = c.prog[c.pos-c.base]
+			slot.streamPos = c.pos
 			c.pos++
-			c.noteRecent(in)
+			c.noteRecent(slot.inst)
 		}
-
-		slot := fetchSlot{
-			inst:      in,
-			ready:     c.cycle + c.cfg.FrontendDepth,
-			wrongPath: wrongPath,
-			streamPos: streamPos,
-		}
-		if in.IsBranch() {
+		slot.ready = ready
+		slot.wrongPath = wrongPath
+		c.fqRec[si] = nil
+		if slot.inst.IsBranch() {
+			in := &slot.inst
 			rec := c.unit.GetRec()
 			pred := c.unit.Predict(rec, in.PC, in.Taken, c.nextBranchSeq(), wrongPath, c.cycle)
-			slot.rec = rec
+			c.fqRec[si] = rec
 			if pred && c.btb != nil {
 				// A predicted-taken branch needs the BTB to redirect
 				// fetch this cycle; a miss costs a decode-redirect
@@ -856,12 +1036,12 @@ func (c *Core) stepFetch() {
 				// Divergence: subsequent fetch is wrong-path until
 				// this branch resolves (or a deferred override
 				// corrects it at the allocation stage).
+				c.bmemoInvalidate()
 				c.diverged = true
 				c.wrongLeft = c.cfg.MaxWrongPathPerFlush
 				c.wpCursor = 0
 			}
 		}
-		c.fqPush(slot)
 	}
 }
 
@@ -886,15 +1066,23 @@ func (c *Core) noteRecent(in trace.Inst) {
 
 // nextWrongPath synthesizes a wrong-path instruction by replaying the recent
 // real-instruction window offset by half its length: plausible PCs (so BHT
-// and GHIST pollution is realistic) on a path the core will flush.
-func (c *Core) nextWrongPath() trace.Inst {
+// and GHIST pollution is realistic) on a path the core will flush. The
+// instruction is written into dst in place (the caller's fetch-queue slot).
+func (c *Core) nextWrongPath(dst *trace.Inst) {
 	if c.recentLen == 0 {
-		return trace.Inst{PC: 0xdead000, Class: trace.ClassALU}
+		*dst = trace.Inst{PC: 0xdead000, Class: trace.ClassALU}
+		return
 	}
-	idx := (c.recentPos + c.recentLen/2 + c.wpCursor) % c.recentLen
+	var idx int
+	if c.recentLen == wpWindow {
+		// Full window (steady state): power-of-two modulo is a mask.
+		idx = (c.recentPos + wpWindow/2 + c.wpCursor) & (wpWindow - 1)
+	} else {
+		idx = (c.recentPos + c.recentLen/2 + c.wpCursor) % c.recentLen
+	}
 	c.wpCursor++
-	in := c.recent[idx]
-	if in.IsBranch() {
+	*dst = c.recent[idx]
+	if dst.IsBranch() {
 		// The synthesized branch's "outcome" is unknowable; its
 		// prediction will drive the speculative updates, and it is
 		// flushed before resolving. Real wrong paths execute the other
@@ -902,9 +1090,8 @@ func (c *Core) nextWrongPath() trace.Inst {
 		// with hot correct-path PCs, so half are displaced to cold
 		// addresses that miss the BHT.
 		if c.wpCursor%2 != 0 {
-			in.PC ^= 0x40000 + uint64(c.wpCursor)<<6
+			dst.PC ^= 0x40000 + uint64(c.wpCursor)<<6
 		}
-		in.Taken = !in.Taken
+		dst.Taken = !dst.Taken
 	}
-	return in
 }

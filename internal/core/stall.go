@@ -34,9 +34,9 @@ func (c *Core) dumpState() string {
 	fmt.Fprintf(&b, "  program:     pos=%d/%d (diverged=%v, wrongLeft=%d)\n",
 		c.pos, c.total, c.diverged, c.wrongLeft)
 	fmt.Fprintf(&b, "  fetch:       queue=%d/%d, holdTo=%d (cycle=%d)\n",
-		c.fqCount, len(c.fetchQ), c.fetchHoldTo, c.cycle)
+		c.fqCount, c.fqSize, c.fetchHoldTo, c.cycle)
 	fmt.Fprintf(&b, "  rob:         %d/%d entries (head=%d tail=%d)\n",
-		c.robLen(), len(c.rob), c.robHead, c.robTail)
+		c.robLen(), c.robSize, c.robHead, c.robTail)
 	if c.robLen() > 0 {
 		e := c.robAt(c.robHead)
 		fmt.Fprintf(&b, "  rob head:    seq=%d class=%s done=%d branch=%v resolved=%v wrongPath=%v\n",

@@ -9,7 +9,11 @@
 // effects the paper studies (branch repair), and documented in DESIGN.md.
 package mem
 
-import "localbp/internal/obs"
+import (
+	"sync"
+
+	"localbp/internal/obs"
+)
 
 // Config sizes one cache level.
 type Config struct {
@@ -22,6 +26,7 @@ type Config struct {
 
 // Hierarchy is a three-level cache + DRAM latency model.
 type Hierarchy struct {
+	cfg         HierarchyConfig
 	l1, l2, llc *cache
 	dramLatency int64
 
@@ -53,14 +58,76 @@ func DefaultHierarchy() HierarchyConfig {
 	}
 }
 
-// New builds a hierarchy from cfg.
+// hierFree recycles hierarchies between runs (see Recycle). The metadata
+// arrays of a warm hierarchy dominate a simulation's per-run allocation
+// volume (~2 MB for the Table 2 LLC), and reusing them keeps the arrays
+// resident in the host cache across back-to-back runs — the difference is
+// directly visible in the core-loop benchmark. Deliberately a bounded
+// free-list rather than a sync.Pool: pool contents drop at every GC, which
+// would make a run's allocation count depend on GC timing and turn the
+// fixed-budget alloc-guard tests into coin flips.
+var hierFree struct {
+	mu sync.Mutex
+	hs []*Hierarchy
+}
+
+// hierFreeMax bounds the free-list (a worker pool recycles at most one
+// hierarchy per worker between runs; 4 covers the common fan-out without
+// pinning unbounded memory).
+const hierFreeMax = 4
+
+// New builds a hierarchy from cfg, reusing a recycled hierarchy when one
+// with the same configuration is available.
 func New(cfg HierarchyConfig) *Hierarchy {
+	hierFree.mu.Lock()
+	for i, h := range hierFree.hs {
+		if h.cfg == cfg {
+			n := len(hierFree.hs) - 1
+			hierFree.hs[i] = hierFree.hs[n]
+			hierFree.hs[n] = nil
+			hierFree.hs = hierFree.hs[:n]
+			hierFree.mu.Unlock()
+			h.reset()
+			return h
+		}
+	}
+	hierFree.mu.Unlock()
 	return &Hierarchy{
+		cfg:         cfg,
 		l1:          newCache(cfg.L1),
 		l2:          newCache(cfg.L2),
 		llc:         newCache(cfg.LLC),
 		dramLatency: cfg.DRAMLatency,
 	}
+}
+
+// Recycle resets the hierarchy and returns it to the free-list for a future
+// New with the same configuration (dropped when the list is full). The
+// caller must not use h afterwards. Safe for concurrent use (each Recycle
+// hands over a distinct hierarchy).
+func (h *Hierarchy) Recycle() {
+	hierFree.mu.Lock()
+	if len(hierFree.hs) < hierFreeMax {
+		hierFree.hs = append(hierFree.hs, h)
+	}
+	hierFree.mu.Unlock()
+}
+
+// reset restores the just-built state without touching the dominant tag
+// arrays: way validity lives in the stamps (stamp == 0 means empty) and hint
+// validity in the hint keys (0 means untrained), so clearing those two — a
+// third of the metadata — makes the stale tags and hint ways unreachable.
+func (h *Hierarchy) reset() {
+	h.l1.reset()
+	h.l2.reset()
+	h.llc.reset()
+	h.statAccesses = 0
+	h.statL1Miss = 0
+	h.statL2Miss = 0
+	h.statLLCMiss = 0
+	h.statPrefHits = 0
+	h.latHist = nil
+	h.tracer = nil
 }
 
 // Access returns the load-to-use latency for addr. Stores are modeled with
@@ -157,11 +224,6 @@ func (h *Hierarchy) MPKIBase() float64 {
 	return float64(h.statL1Miss) / float64(h.statAccesses)
 }
 
-// invalidTag marks an empty way. No real tag can collide with it: a tag is
-// addr >> (lineBits + tagShift), so even a full 64-bit address leaves the top
-// lineBits+tagShift bits clear and every real tag is far below 1<<63.
-const invalidTag = uint64(1) << 63
-
 // The per-way state is split into parallel arrays (tags / stamp / pref)
 // rather than an array of structs: probes and fills scan only the tag array
 // — one cache line covers 8 ways instead of two.
@@ -178,11 +240,22 @@ type cache struct {
 	lineBits uint
 	tagShift uint // log2(sets), precomputed: index() runs on every probe
 	tags     []uint64
-	stamp    []uint64 // last-touch time per way; lower = older
-	clock    uint64   // touch counter; always above every live stamp
-	// pref marks a line brought in by a prefetcher that no demand access has
-	// touched yet; the first demand hit clears it and counts a prefetch hit.
-	pref []bool
+	// stamp packs (last-touch time << 1 | pref bit) per way; stamp == 0
+	// marks an empty way (a filled way's clock part is always >= 1), so the
+	// zero value of both arrays IS the empty cache and newCache writes no
+	// metadata at all — untouched sets never pull their pages into the host
+	// cache. The clock part is unique within a set, so ordering stamps orders
+	// recency exactly as a bare timestamp would regardless of the low bit.
+	// The pref bit marks a line brought in by a prefetcher that no demand
+	// access has touched yet; the first demand hit clears it (the touch
+	// rewrites the whole word) and counts a prefetch hit.
+	//
+	// Stamps are 32-bit to halve the scan footprint; before the clock could
+	// reach the width limit, renorm compresses every set's stamps to dense
+	// ranks — an observable no-op, since victim selection and pref
+	// classification only read within-set stamp order and the low bit.
+	stamp []uint32
+	clock uint32 // touch counter; always above every live stamp's clock part
 
 	// stride prefetcher state: last miss line and stride per cache.
 	lastMiss   uint64
@@ -197,6 +270,24 @@ type cache struct {
 	// monotone between inserts (nothing else evicts), which is what lets
 	// streamDetect skip provably redundant re-prefetches.
 	inserts uint64
+
+	// Way hint: a direct-mapped line → way memo that turns the common
+	// "line is present" probe into a single array load instead of an
+	// associative scan over the (much larger) tag array. The hint is exact:
+	// a matching key GUARANTEES the line is resident at hintWay[h]. The
+	// invariant is maintained at the only point it could break — eviction:
+	// when an insert displaces a valid line, the victim's own hint entry (if
+	// it still points at that way) is cleared. Entries overwritten by
+	// direct-mapped collisions simply stop matching. Probe results, LRU
+	// updates and victim selection are bit-identical to the hint-free cache;
+	// only the order of array reads changes.
+	//
+	// hintKey stores line+1 so the zero value means "untrained" (no real
+	// line is all-ones: a line is addr >> lineBits); hintWay may then hold
+	// anything until its key is set.
+	hintKey  []uint64
+	hintWay  []uint8
+	hintMask uint64
 
 	// streamDetect memo (used on the L1 only): the last line whose stream
 	// prefetches were issued and the hierarchy-wide insert count right
@@ -215,6 +306,10 @@ func newCache(cfg Config) *cache {
 	for 1<<lb < cfg.LineBytes {
 		lb++
 	}
+	hintSize := lines
+	if hintSize > 8192 {
+		hintSize = 8192 // cap the LLC hint; collisions only cost a scan
+	}
 	c := &cache{
 		cfg:      cfg,
 		sets:     sets,
@@ -222,29 +317,68 @@ func newCache(cfg Config) *cache {
 		lineBits: lb,
 		tagShift: log2i(sets),
 		tags:     make([]uint64, lines),
-		stamp:    make([]uint64, lines),
-		pref:     make([]bool, lines),
+		stamp:    make([]uint32, lines),
+		hintKey:  make([]uint64, hintSize),
+		hintWay:  make([]uint8, hintSize),
+		hintMask: uint64(hintSize - 1),
 		// No real line number reaches 1<<63 (lines are addr>>lineBits), so
 		// the memo can never match before its first genuine assignment.
 		lastStreamLine: uint64(1) << 63,
-		// First touch stamps ways; the initial per-set recency order (way 0
-		// newest … way Ways-1 oldest) sits below it.
-		clock: uint64(cfg.Ways),
-	}
-	for i := range c.tags {
-		c.tags[i] = invalidTag
-	}
-	for s := 0; s < sets; s++ {
-		for w := 0; w < cfg.Ways; w++ {
-			c.stamp[s*cfg.Ways+w] = uint64(cfg.Ways - 1 - w)
-		}
 	}
 	return c
 }
 
-func (c *cache) index(addr uint64) (base int, tag uint64) {
-	line := addr >> c.lineBits
-	return int(line&c.setMask) * c.cfg.Ways, line >> c.tagShift
+// renormAt triggers stamp renormalization well before clock<<1 could
+// overflow 32 bits.
+const renormAt = uint32(1) << 30
+
+// renorm compresses every set's stamps to dense ranks (1..ways), preserving
+// within-set recency order and the pref bits exactly. Only that order and the
+// low bit are ever read (victim selection, pref classification), so renorm is
+// observably a no-op; it runs once per ~2^30 touches.
+func (c *cache) renorm() {
+	ways := c.cfg.Ways
+	var ord [64]int
+	for s := 0; s < c.sets; s++ {
+		base := s * ways
+		n := 0
+		for w := 0; w < ways; w++ {
+			if c.stamp[base+w] == 0 {
+				continue
+			}
+			i := n
+			for i > 0 && c.stamp[base+ord[i-1]] > c.stamp[base+w] {
+				ord[i] = ord[i-1]
+				i--
+			}
+			ord[i] = w
+			n++
+		}
+		for r := 0; r < n; r++ {
+			w := ord[r]
+			c.stamp[base+w] = uint32(r+1)<<1 | c.stamp[base+w]&1
+		}
+	}
+	c.clock = uint32(ways) + 1
+}
+
+// reset clears the per-run cache state (see Hierarchy.reset for what may
+// legitimately stay stale).
+func (c *cache) reset() {
+	for i := range c.stamp {
+		c.stamp[i] = 0
+	}
+	for i := range c.hintKey {
+		c.hintKey[i] = 0
+	}
+	c.clock = 0
+	c.lastMiss = 0
+	c.lastStride = 0
+	c.recentLines = [8]uint64{}
+	c.recentPos = 0
+	c.inserts = 0
+	c.lastStreamLine = uint64(1) << 63
+	c.lastStreamInserts = 0
 }
 
 func log2i(n int) uint {
@@ -259,12 +393,22 @@ func log2i(n int) uint {
 // access probes the cache, updating LRU on hit. The second result reports
 // whether the hit line was an untouched prefetch.
 func (c *cache) access(addr uint64) (hit, wasPref bool) {
-	base, tag := c.index(addr)
+	line := addr >> c.lineBits
+	base := int(line&c.setMask) * c.cfg.Ways
+	tag := line >> c.tagShift
+	if h := line & c.hintMask; c.hintKey[h] == line+1 {
+		w := int(c.hintWay[h])
+		wasPref = c.stamp[base+w]&1 != 0
+		c.touch(base, w) // rewrites the stamp word, clearing the pref bit
+		return true, wasPref
+	}
 	for w := 0; w < c.cfg.Ways; w++ {
-		if c.tags[base+w] == tag {
+		if c.tags[base+w] == tag && c.stamp[base+w] != 0 {
+			h := line & c.hintMask
+			c.hintKey[h] = line + 1
+			c.hintWay[h] = uint8(w)
+			wasPref = c.stamp[base+w]&1 != 0
 			c.touch(base, w)
-			wasPref = c.pref[base+w]
-			c.pref[base+w] = false
 			return true, wasPref
 		}
 	}
@@ -272,8 +416,11 @@ func (c *cache) access(addr uint64) (hit, wasPref bool) {
 }
 
 func (c *cache) touch(base, way int) {
+	if c.clock >= renormAt {
+		c.renorm()
+	}
 	c.clock++
-	c.stamp[base+way] = c.clock
+	c.stamp[base+way] = c.clock << 1
 }
 
 // fill inserts addr's line on demand, evicting LRU.
@@ -283,25 +430,53 @@ func (c *cache) fill(addr uint64) { c.fillInto(addr, false) }
 func (c *cache) fillPref(addr uint64) { c.fillInto(addr, true) }
 
 func (c *cache) fillInto(addr uint64, pref bool) {
-	base, tag := c.index(addr)
+	line := addr >> c.lineBits
+	base := int(line&c.setMask) * c.cfg.Ways
+	tag := line >> c.tagShift
+	if c.hintKey[line&c.hintMask] == line+1 {
+		// Line already present (the dominant case for prefetch-driven fills
+		// behind a stream): same early return the scan below would take, with
+		// no state touched.
+		return
+	}
 	victim := 0
 	for w := 0; w < c.cfg.Ways; w++ {
-		t := c.tags[base+w]
-		if t == tag {
-			return
-		}
-		if t == invalidTag {
-			victim = w
+		st := c.stamp[base+w]
+		if st == 0 {
+			victim = w // empty way: first one wins, stop scanning
 			break
 		}
-		if c.stamp[base+w] < c.stamp[base+victim] {
+		if c.tags[base+w] == tag {
+			return
+		}
+		if st < c.stamp[base+victim] {
 			victim = w
 		}
 	}
+	if c.stamp[base+victim] != 0 {
+		// Evicting a valid line: retire its hint entry so the hint stays an
+		// exact presence memo (a collision may already have replaced it; the
+		// key+way check only clears the victim's own entry).
+		oldLine := c.tags[base+victim]<<c.tagShift | line&c.setMask
+		if oh := oldLine & c.hintMask; c.hintKey[oh] == oldLine+1 && int(c.hintWay[oh]) == victim {
+			c.hintKey[oh] = 0
+		}
+	}
 	c.tags[base+victim] = tag
-	c.pref[base+victim] = pref
 	c.inserts++
-	c.touch(base, victim) // promote the fresh line to MRU
+	// Promote the fresh line to MRU, carrying the pref bit in the low bit.
+	if c.clock >= renormAt {
+		c.renorm()
+	}
+	c.clock++
+	st := c.clock << 1
+	if pref {
+		st |= 1
+	}
+	c.stamp[base+victim] = st
+	h := line & c.hintMask
+	c.hintKey[h] = line + 1
+	c.hintWay[h] = uint8(victim)
 }
 
 // prefetch issues stride-directed prefetches after a miss at this level.
@@ -336,16 +511,15 @@ func (c *cache) streamDetect(addr uint64, h *Hierarchy) {
 	}
 	line := addr >> c.lineBits
 	hit := false
+	prev := line - 1
 	for _, rl := range c.recentLines {
-		if rl == line-1 || rl == line {
-			hit = rl == line-1
-			if hit {
-				break
-			}
+		if rl == prev {
+			hit = true
+			break
 		}
 	}
 	c.recentLines[c.recentPos] = line
-	c.recentPos = (c.recentPos + 1) % len(c.recentLines)
+	c.recentPos = (c.recentPos + 1) & (len(c.recentLines) - 1)
 	if !hit {
 		return
 	}

@@ -245,6 +245,7 @@ type simConfig struct {
 	progress  func(uint64)
 	maxCycles int64
 	traceFile string
+	noMemo    bool
 }
 
 // WithContext runs the simulation under ctx: cancellation or a deadline
@@ -314,6 +315,12 @@ func WithObserver(fn func(Event)) Option {
 func WithProgress(fn func(retired uint64)) Option {
 	return func(c *simConfig) { c.progress = fn }
 }
+
+// WithoutBlockMemo disables the hot basic-block timeline memo (DESIGN.md
+// §17). The memo is exact — a memoized run is bit-identical to a live one —
+// so this knob exists for differential testing and for measuring the memo's
+// own overhead, not for changing results.
+func WithoutBlockMemo() Option { return func(c *simConfig) { c.noMemo = true } }
 
 // WithTraceFile replays an on-disk trace (LBP1/LBP2/ChampSim) instead of
 // generating the workload's stream: Simulate streams the file at fixed
@@ -434,6 +441,7 @@ func simulate(src Source, s Scheme, sc simConfig) (Result, error) {
 	ccfg.WarmupInsts = sc.warmup
 	ccfg.MaxCycles = sc.maxCycles
 	ccfg.Progress = sc.progress
+	ccfg.DisableBlockMemo = sc.noMemo
 
 	// Observability hooks: built fresh per run, so concurrent Simulate
 	// calls never share registries or tracers.
@@ -493,6 +501,7 @@ func simulate(src Source, s Scheme, sc simConfig) (Result, error) {
 	}
 	st, err := c.RunContext(ctx)
 	if err != nil {
+		c.Recycle()
 		return Result{}, err
 	}
 	ov, ovok := unit.OverrideStats()
@@ -514,6 +523,9 @@ func simulate(src Source, s Scheme, sc simConfig) (Result, error) {
 	if hooks.Tracer != nil {
 		res.Events = hooks.Tracer.Events()
 	}
+	// All stats (including the registry's "mem" pull source) are snapshotted;
+	// the hierarchy's metadata arrays can go back to the pool.
+	c.Recycle()
 	return res, nil
 }
 
